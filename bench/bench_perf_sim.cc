@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Performance microbenchmarks for the simulation substrate: event
+ * queue throughput and a complete small load-test experiment. The
+ * attribution pipeline runs hundreds of experiments, so end-to-end
+ * experiment cost is the budget that matters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+using namespace treadmill;
+
+namespace {
+
+void
+BM_EventQueuePushPop(benchmark::State &state)
+{
+    sim::EventQueue queue;
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        queue.push((t * 7919) % 1000 + t, [] {});
+        ++t;
+        if (queue.size() > 1024) {
+            SimTime when = 0;
+            queue.pop(when);
+            benchmark::DoNotOptimize(when);
+        }
+    }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void
+BM_SimulationEventChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        std::uint64_t fired = 0;
+        std::function<void()> chain = [&] {
+            if (++fired < 10000)
+                sim.schedule(100, chain);
+        };
+        sim.schedule(100, chain);
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulationEventChain);
+
+void
+BM_FullExperiment(benchmark::State &state)
+{
+    for (auto _ : state) {
+        core::ExperimentParams params;
+        params.targetUtilization = 0.5;
+        params.collector.warmUpSamples = 100;
+        params.collector.calibrationSamples = 100;
+        params.collector.measurementSamples =
+            static_cast<std::uint64_t>(state.range(0));
+        params.seed = 3;
+        const auto result = core::runExperiment(params);
+        benchmark::DoNotOptimize(result.achievedRps);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * state.range(0) * 8));
+}
+BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond)
+    ->Arg(1000)->Arg(4000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regenerates Table III: the quantile-regression factor levels.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/report.h"
+#include "hw/hardware_config.h"
+
+using namespace treadmill;
+
+int
+main()
+{
+    bench::banner("Table III -- quantile regression factors",
+                  "Section IV-B, Table III");
+
+    analysis::TextTable table({"Factor", "Low-Level", "High-Level"});
+    table.addRow({"NUMA Control (numa)", "same-node", "interleave"});
+    table.addRow({"Turbo Boost (turbo)", "off", "on"});
+    table.addRow({"DVFS Governor (dvfs)", "ondemand", "performance"});
+    table.addRow({"NIC Affinity (nic)", "same-node", "all-nodes"});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Full factorial enumeration (16 cells):\n");
+    for (const auto &cfg : hw::allConfigs())
+        std::printf("  %2u  %s  %s\n", cfg.index(), cfg.bits().c_str(),
+                    cfg.label().c_str());
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Why quantile regression and not ANOVA (paper Section IV-A).
+ *
+ * Generates a factorial data set with a purely *tail* effect -- a
+ * factor that leaves the mean and median untouched but inflates the
+ * upper quantiles (a heteroscedastic effect, ubiquitous in latency
+ * data) -- and fits both OLS/ANOVA and quantile regression. OLS
+ * attributes nothing to the factor; quantile regression quantifies it
+ * precisely at the quantile where it lives.
+ *
+ * Run: ./build/examples/anova_vs_quantreg
+ */
+
+#include <cstdio>
+
+#include "regress/design.h"
+#include "regress/ols.h"
+#include "regress/pseudo_r2.h"
+#include "regress/quantreg.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+using namespace treadmill;
+using namespace treadmill::regress;
+
+int
+main()
+{
+    std::printf("ANOVA vs quantile regression on a pure tail effect\n\n");
+
+    // Generative model over factors {burst, speed}:
+    //  - "speed" shifts the whole distribution by -20 us (a classic
+    //    mean effect both methods see).
+    //  - "burst" leaves the median alone but doubles the spread of
+    //    the upper half: a pure tail effect.
+    Rng rng(12);
+    Exponential tail(1.0 / 30.0);
+    Normal body(0.0, 4.0);
+    Bernoulli coin(0.5);
+
+    FactorialDesign design({"burst", "speed"});
+    std::vector<std::vector<double>> obs;
+    Vec y;
+    for (int rep = 0; rep < 1500; ++rep) {
+        for (int burst = 0; burst <= 1; ++burst) {
+            for (int speed = 0; speed <= 1; ++speed) {
+                obs.push_back({static_cast<double>(burst),
+                               static_cast<double>(speed)});
+                double sample = 100.0 - 20.0 * speed +
+                                body.sample(rng);
+                if (coin.sample(rng)) {
+                    // Upper half of the distribution.
+                    const double t = tail.sample(rng);
+                    sample += burst != 0 ? 2.0 * t : t;
+                }
+                y.push_back(sample);
+            }
+        }
+    }
+    const Matrix x = design.designMatrix(obs);
+
+    // ANOVA / OLS view.
+    const OlsResult ols = fitOls(x, y);
+    std::printf("OLS (models the mean):\n");
+    std::printf("  term         estimate   p-value\n");
+    for (std::size_t t = 0; t < 4; ++t) {
+        std::printf("  %-11s  %+8.2f   %.3g\n",
+                    design.termName(t).c_str(), ols.coefficients[t],
+                    ols.pValues[t]);
+    }
+
+    // Quantile regression view at the median and the tail.
+    std::printf("\nQuantile regression:\n");
+    std::printf("  tau    burst coeff   speed coeff\n");
+    for (double tau : {0.5, 0.9, 0.99}) {
+        const QuantRegResult fit = fitQuantile(x, y, tau);
+        std::printf("  %.2f   %+10.2f   %+10.2f\n", tau,
+                    fit.coefficients[1], fit.coefficients[2]);
+    }
+
+    std::printf("\nReading: OLS reports the 'burst' factor as a modest"
+                " mean shift (the\naveraged tail), indistinguishable"
+                " from noise sources; quantile\nregression shows it is"
+                " negligible at the median and dominant at P99 --\n"
+                "the structure a tail-latency study needs. This is the"
+                " paper's argument\nfor building the attribution on"
+                " quantile regression.\n");
+    return 0;
+}

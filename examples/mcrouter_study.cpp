@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Driving a different workload: mcrouter, configured from a JSON
+ * workload description (the paper's "configurable workload" design
+ * point -- integrating a new service takes a workload config and a
+ * WorkloadKind, no load-tester changes).
+ *
+ * Run: ./build/examples/mcrouter_study [workload.json]
+ */
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "stats/summary.h"
+#include "util/json.h"
+
+using namespace treadmill;
+
+namespace {
+
+/** The default workload config, as the JSON a user would write. */
+const char *kDefaultWorkloadJson = R"({
+    "get_fraction": 0.97,
+    "key_space": 50000,
+    "zipf_skew": 0.9,
+    "value_bytes": {"mean": 64, "sigma": 32},
+    "request_overhead_bytes": 96
+})";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // 1. Load the workload description from JSON (file or built-in).
+    json::Value doc = argc > 1 ? json::parseFile(argv[1])
+                               : json::parse(kDefaultWorkloadJson);
+    const auto workload = core::WorkloadConfig::fromJson(doc);
+    std::printf("workload config:\n%s\n\n",
+                workload.toJson().dumpPretty().c_str());
+
+    // 2. mcrouter experiment: turbo on (Finding 8: mcrouter's
+    //    deserialization is CPU-bound and loves frequency).
+    for (const bool turboOn : {false, true}) {
+        core::ExperimentParams params;
+        params.kind = core::WorkloadKind::Mcrouter;
+        params.workload = workload;
+        params.targetUtilization = 0.30;
+        params.config.turbo =
+            turboOn ? hw::TurboMode::On : hw::TurboMode::Off;
+        params.config.dvfs = hw::DvfsGovernor::Performance;
+        params.collector.warmUpSamples = 300;
+        params.collector.calibrationSamples = 300;
+        params.collector.measurementSamples = 8000;
+        params.seed = 11;
+
+        const auto result = core::runExperiment(params);
+        std::printf("turbo %-3s: P50 %6.1f us   P95 %6.1f us   P99"
+                    " %6.1f us   (router util %.2f)\n",
+                    turboOn ? "on" : "off",
+                    result.aggregatedQuantile(
+                        0.5, core::AggregationKind::PerInstance),
+                    result.aggregatedQuantile(
+                        0.95, core::AggregationKind::PerInstance),
+                    result.aggregatedQuantile(
+                        0.99, core::AggregationKind::PerInstance),
+                    result.serverUtilization);
+    }
+
+    std::printf("\nExpectation (paper Finding 8): Turbo Boost"
+                " meaningfully reduces\nmcrouter latency at low load,"
+                " where thermal headroom is plentiful and\nits"
+                " CPU-bound deserialization scales with frequency.\n");
+    return 0;
+}

@@ -1,0 +1,204 @@
+#include "analysis/attribution.h"
+
+#include <algorithm>
+
+#include "regress/pseudo_r2.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace analysis {
+
+const QuantileModel &
+AttributionResult::model(double tau) const
+{
+    for (const QuantileModel &m : models) {
+        if (m.tau == tau)
+            return m;
+    }
+    throw NumericalError(strprintf("no model fitted for tau=%g", tau));
+}
+
+double
+AttributionResult::predict(double tau,
+                           const hw::HardwareConfig &config) const
+{
+    const QuantileModel &m = model(tau);
+    const auto levels = config.levels();
+    const regress::Vec row = design.designRow(
+        std::vector<double>(levels.begin(), levels.end()));
+    return m.fit.predict(row);
+}
+
+double
+AttributionResult::averageFactorImpact(double tau,
+                                       std::size_t factorIdx) const
+{
+    TM_ASSERT(factorIdx < 4, "factor index out of range");
+    // Average predict(high) - predict(low) over all 8 settings of the
+    // other factors.
+    double total = 0.0;
+    unsigned count = 0;
+    for (unsigned others = 0; others < 16; ++others) {
+        if (others & (1u << factorIdx))
+            continue; // enumerate with this factor low
+        const hw::HardwareConfig low = hw::HardwareConfig::fromIndex(
+            others);
+        const hw::HardwareConfig high = hw::HardwareConfig::fromIndex(
+            others | (1u << factorIdx));
+        total += predict(tau, high) - predict(tau, low);
+        ++count;
+    }
+    return total / static_cast<double>(count);
+}
+
+double
+AttributionResult::averageFactorImpactGiven(double tau,
+                                            std::size_t factorIdx,
+                                            std::size_t givenIdx,
+                                            bool givenHigh) const
+{
+    TM_ASSERT(factorIdx < 4 && givenIdx < 4, "factor index out of range");
+    TM_ASSERT(factorIdx != givenIdx,
+              "conditioning factor must differ from the switched one");
+    double total = 0.0;
+    unsigned count = 0;
+    for (unsigned others = 0; others < 16; ++others) {
+        if (others & (1u << factorIdx))
+            continue;
+        const bool givenIsHigh = (others & (1u << givenIdx)) != 0;
+        if (givenIsHigh != givenHigh)
+            continue;
+        const hw::HardwareConfig low =
+            hw::HardwareConfig::fromIndex(others);
+        const hw::HardwareConfig high = hw::HardwareConfig::fromIndex(
+            others | (1u << factorIdx));
+        total += predict(tau, high) - predict(tau, low);
+        ++count;
+    }
+    return total / static_cast<double>(count);
+}
+
+std::vector<Observation>
+collectObservations(const AttributionParams &params)
+{
+    if (params.repsPerConfig == 0)
+        throw ConfigError("attribution needs at least one rep per cell");
+
+    // Build the experiment list: repsPerConfig copies of each of the
+    // 16 cells, then shuffle so consecutive runs exercise random
+    // permutations of the configurations (preserving independence,
+    // paper S V-A).
+    std::vector<unsigned> cells;
+    cells.reserve(16u * params.repsPerConfig);
+    for (unsigned rep = 0; rep < params.repsPerConfig; ++rep)
+        for (unsigned cfg = 0; cfg < 16; ++cfg)
+            cells.push_back(cfg);
+
+    Rng rng = Rng(0xa77b1b071017ull).substream(params.seed);
+    for (std::size_t i = cells.size() - 1; i > 0; --i) {
+        const auto j = static_cast<std::size_t>(rng.nextBelow(i + 1));
+        std::swap(cells[i], cells[j]);
+    }
+
+    // The paper drives every configuration at the same request rate
+    // (100k/800k RPS): derive the rate once from the base config and
+    // hold it constant, so utilization differences between configs are
+    // part of the measured effect.
+    core::ExperimentParams reference = params.base;
+    reference.seed = params.seed;
+    const double fixedRps = core::deriveRequestRate(reference);
+
+    std::vector<Observation> observations;
+    observations.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        core::ExperimentParams run = params.base;
+        run.requestsPerSecond = fixedRps;
+        run.config = hw::HardwareConfig::fromIndex(cells[i]);
+        run.seed = params.seed * 2654435761ull + i * 97 + 1;
+
+        const core::ExperimentResult outcome = core::runExperiment(run);
+
+        Observation obs;
+        obs.config = run.config;
+        obs.runSeed = run.seed;
+        obs.serverUtilization = outcome.serverUtilization;
+        for (double tau : params.quantiles) {
+            obs.quantileUs[tau] =
+                outcome.aggregatedQuantile(tau, params.aggregation);
+        }
+        observations.push_back(std::move(obs));
+    }
+    return observations;
+}
+
+AttributionResult
+fitAttribution(const AttributionParams &params,
+               std::vector<Observation> observations)
+{
+    if (observations.empty())
+        throw NumericalError("attribution needs observations");
+
+    AttributionResult result;
+    result.observations = std::move(observations);
+
+    // Assemble the design matrix once; responses differ per tau.
+    std::vector<std::vector<double>> levels;
+    levels.reserve(result.observations.size());
+    for (const Observation &obs : result.observations) {
+        const auto l = obs.config.levels();
+        levels.emplace_back(l.begin(), l.end());
+    }
+    const regress::Matrix clean = result.design.designMatrix(levels);
+
+    Rng rng = Rng(0xbead5eedful).substream(params.seed);
+    const regress::Matrix x =
+        regress::FactorialDesign::perturb(clean, params.perturbSd, rng);
+
+    const auto names = result.design.termNames();
+    for (double tau : params.quantiles) {
+        regress::Vec y;
+        y.reserve(result.observations.size());
+        for (const Observation &obs : result.observations) {
+            const auto it = obs.quantileUs.find(tau);
+            if (it == obs.quantileUs.end())
+                throw NumericalError(
+                    strprintf("observation missing tau=%g", tau));
+            y.push_back(it->second);
+        }
+
+        Rng bootRng = rng.substream(
+            static_cast<std::uint64_t>(tau * 1e6));
+        const regress::QuantRegInference inference =
+            regress::bootstrapQuantReg(x, y, tau,
+                                       params.bootstrapReplicates,
+                                       bootRng);
+
+        QuantileModel model;
+        model.tau = tau;
+        model.fit = inference.fit;
+        model.pseudoR2 = regress::pseudoR2(
+            x, y, inference.fit.coefficients, tau);
+        for (std::size_t t = 0; t < names.size(); ++t) {
+            TermEstimate term;
+            term.name = names[t];
+            term.estimate = inference.coefficients[t].estimate;
+            term.standardError =
+                inference.coefficients[t].standardError;
+            term.pValue = inference.coefficients[t].pValue;
+            model.terms.push_back(std::move(term));
+        }
+        result.models.push_back(std::move(model));
+    }
+    return result;
+}
+
+AttributionResult
+runAttribution(const AttributionParams &params)
+{
+    return fitAttribution(params, collectObservations(params));
+}
+
+} // namespace analysis
+} // namespace treadmill

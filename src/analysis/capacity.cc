@@ -1,0 +1,90 @@
+#include "analysis/capacity.h"
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace treadmill {
+namespace analysis {
+
+namespace {
+
+/** Measure the mean tau-quantile at one utilization across seeds. */
+CapacityProbe
+probe(const CapacityParams &params, double utilization)
+{
+    std::vector<double> perRun;
+    double rps = 0.0;
+    for (unsigned run = 0; run < params.runsPerPoint; ++run) {
+        core::ExperimentParams p = params.base;
+        p.targetUtilization = utilization;
+        p.requestsPerSecond = 0.0; // derive from utilization
+        p.seed = params.seed * 6151 + run * 131 + 7;
+        const auto result = core::runExperiment(p);
+        perRun.push_back(result.aggregatedQuantile(
+            params.tau, core::AggregationKind::PerInstance));
+        rps = result.targetRps;
+    }
+    CapacityProbe point;
+    point.utilization = utilization;
+    point.requestsPerSecond = rps;
+    point.latencyUs = stats::mean(perRun);
+    point.meetsSlo = point.latencyUs <= params.sloUs;
+    return point;
+}
+
+} // namespace
+
+CapacityResult
+planCapacity(const CapacityParams &params)
+{
+    if (!(params.sloUs > 0.0))
+        throw ConfigError("SLO bound must be positive");
+    if (!(params.utilizationLow > 0.0) ||
+        !(params.utilizationHigh > params.utilizationLow) ||
+        !(params.utilizationHigh < 1.0))
+        throw ConfigError("capacity search needs 0 < lo < hi < 1");
+    if (params.runsPerPoint == 0 || params.maxIterations == 0)
+        throw ConfigError("capacity search needs runs and iterations");
+
+    CapacityResult result;
+
+    // Establish the bracket.
+    CapacityProbe low = probe(params, params.utilizationLow);
+    result.probes.push_back(low);
+    if (!low.meetsSlo) {
+        result.infeasible = true;
+        return result;
+    }
+    CapacityProbe high = probe(params, params.utilizationHigh);
+    result.probes.push_back(high);
+    if (high.meetsSlo) {
+        result.maxUtilization = high.utilization;
+        result.maxRequestsPerSecond = high.requestsPerSecond;
+        result.latencyAtMaxUs = high.latencyUs;
+        return result;
+    }
+
+    // Bisect: invariant low meets the SLO, high does not.
+    CapacityProbe best = low;
+    double lo = params.utilizationLow;
+    double hi = params.utilizationHigh;
+    for (unsigned it = 0; it < params.maxIterations; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const CapacityProbe point = probe(params, mid);
+        result.probes.push_back(point);
+        if (point.meetsSlo) {
+            best = point;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    result.maxUtilization = best.utilization;
+    result.maxRequestsPerSecond = best.requestsPerSecond;
+    result.latencyAtMaxUs = best.latencyUs;
+    return result;
+}
+
+} // namespace analysis
+} // namespace treadmill

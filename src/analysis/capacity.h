@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Capacity planning against a tail-latency SLO.
+ *
+ * The paper motivates precise tail measurement with provisioning:
+ * "servers are typically acquired in large quantities ... so it is
+ * important to choose the best design possible and carefully
+ * provision resources" (S I). CapacityPlanner answers the operator's
+ * question directly: given a configuration and a P-quantile SLO, what
+ * is the highest utilization (and request rate) the machine sustains?
+ *
+ * The search is a bisection on utilization; each probe runs the full
+ * Treadmill procedure over several seeds (hysteresis-aware) and uses
+ * the mean of the per-run quantiles.
+ */
+
+#ifndef TREADMILL_ANALYSIS_CAPACITY_H_
+#define TREADMILL_ANALYSIS_CAPACITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace treadmill {
+namespace analysis {
+
+/** Controls for an SLO capacity search. */
+struct CapacityParams {
+    core::ExperimentParams base;
+    /** SLO quantile and bound (e.g., P99 <= 300 us). */
+    double tau = 0.99;
+    double sloUs = 300.0;
+    /** Utilization bracket searched. */
+    double utilizationLow = 0.05;
+    double utilizationHigh = 0.90;
+    /** Bisection iterations (each costs runsPerPoint experiments). */
+    unsigned maxIterations = 8;
+    /** Runs averaged per probe point (hysteresis). */
+    unsigned runsPerPoint = 3;
+    std::uint64_t seed = 1;
+};
+
+/** One probed operating point. */
+struct CapacityProbe {
+    double utilization = 0.0;
+    double requestsPerSecond = 0.0;
+    double latencyUs = 0.0; ///< Mean of per-run tau-quantiles.
+    bool meetsSlo = false;
+};
+
+/** Outcome of the capacity search. */
+struct CapacityResult {
+    /** Highest utilization meeting the SLO (0 if none does). */
+    double maxUtilization = 0.0;
+    /** Request rate at that utilization. */
+    double maxRequestsPerSecond = 0.0;
+    /** Measured tau-quantile latency at the operating point. */
+    double latencyAtMaxUs = 0.0;
+    /** True when even the low end of the bracket violates the SLO. */
+    bool infeasible = false;
+    /** Every probed point, in probe order. */
+    std::vector<CapacityProbe> probes;
+};
+
+/**
+ * Bisect for the highest utilization whose tau-quantile latency meets
+ * the SLO under the given configuration.
+ */
+CapacityResult planCapacity(const CapacityParams &params);
+
+} // namespace analysis
+} // namespace treadmill
+
+#endif // TREADMILL_ANALYSIS_CAPACITY_H_

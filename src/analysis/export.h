@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-readable (JSON) export of experiment and attribution
+ * results.
+ *
+ * Treadmill is a measurement tool; its outputs feed dashboards,
+ * regression detectors, and notebooks. These exporters serialize the
+ * result structures to the same JSON dialect the workload configs use,
+ * so a run's inputs and outputs round-trip through one format.
+ */
+
+#ifndef TREADMILL_ANALYSIS_EXPORT_H_
+#define TREADMILL_ANALYSIS_EXPORT_H_
+
+#include "analysis/attribution.h"
+#include "analysis/recommend.h"
+#include "core/experiment.h"
+#include "util/json.h"
+
+namespace treadmill {
+namespace analysis {
+
+/**
+ * Serialize one experiment result: throughput, utilization,
+ * per-instance quantiles, aggregated quantiles, and ground-truth
+ * quantiles. Raw sample vectors are summarized (counts + quantiles),
+ * not dumped.
+ */
+json::Value toJson(const core::ExperimentResult &result);
+
+/**
+ * Serialize an attribution result: per-quantile models with term
+ * estimates, standard errors, p-values, and pseudo-R^2.
+ */
+json::Value toJson(const AttributionResult &attribution);
+
+/** Serialize a Fig 12-style improvement evaluation. */
+json::Value toJson(const ImprovementResult &result);
+
+} // namespace analysis
+} // namespace treadmill
+
+#endif // TREADMILL_ANALYSIS_EXPORT_H_

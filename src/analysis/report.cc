@@ -1,0 +1,141 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace analysis {
+
+TextTable::TextTable(std::vector<std::string> header_)
+    : header(std::move(header_))
+{
+    if (header.empty())
+        throw ConfigError("table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header.size())
+        throw ConfigError("table row width mismatch");
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::string out;
+    const auto renderRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                out += "  ";
+            out += c == 0 ? padRight(row[c], widths[c])
+                          : padLeft(row[c], widths[c]);
+        }
+        out += '\n';
+    };
+    renderRow(header);
+    std::size_t total = header.size() - 1;
+    for (std::size_t w : widths)
+        total += w + 1;
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto &row : rows)
+        renderRow(row);
+    return out;
+}
+
+std::string
+formatMicros(double us)
+{
+    if (std::fabs(us) < 1.0)
+        return us >= 0.0 ? "<1 us" : ">-1 us";
+    return strprintf("%.0f us", us);
+}
+
+std::string
+formatPValue(double p)
+{
+    if (p < 1e-6)
+        return "<1e-06";
+    return strprintf("%.2e", p);
+}
+
+std::string
+renderCoefficientTable(const AttributionResult &attribution,
+                       double significance)
+{
+    std::vector<std::string> header{"Factor"};
+    for (const QuantileModel &m : attribution.models) {
+        const std::string pct = strprintf(
+            "%g th", m.tau * 100.0);
+        header.push_back(strprintf("P%g Est.", m.tau * 100.0));
+        header.push_back(strprintf("P%g Std.Err", m.tau * 100.0));
+        header.push_back(strprintf("P%g p-value", m.tau * 100.0));
+        (void)pct;
+    }
+    TextTable table(header);
+
+    if (attribution.models.empty())
+        throw NumericalError("no fitted models to render");
+    const std::size_t terms = attribution.models[0].terms.size();
+    for (std::size_t t = 0; t < terms; ++t) {
+        std::vector<std::string> row;
+        std::string name = attribution.models[0].terms[t].name;
+        bool significant = false;
+        for (const QuantileModel &m : attribution.models)
+            significant |= m.terms[t].pValue < significance;
+        if (significant)
+            name += " *";
+        row.push_back(name);
+        for (const QuantileModel &m : attribution.models) {
+            const TermEstimate &term = m.terms[t];
+            row.push_back(formatMicros(term.estimate));
+            row.push_back(formatMicros(term.standardError));
+            row.push_back(formatPValue(term.pValue));
+        }
+        table.addRow(std::move(row));
+    }
+
+    std::string out = table.render();
+    out += "\npseudo-R2:";
+    for (const QuantileModel &m : attribution.models)
+        out += strprintf("  P%g=%.3f", m.tau * 100.0, m.pseudoR2);
+    out += "\n(* = p < ";
+    out += strprintf("%g", significance);
+    out += " at some quantile)\n";
+    return out;
+}
+
+std::string
+renderCdf(std::vector<double> samples, std::size_t points)
+{
+    if (samples.empty())
+        throw NumericalError("cannot render an empty CDF");
+    if (points < 2)
+        throw ConfigError("CDF needs at least two points");
+    std::sort(samples.begin(), samples.end());
+    std::string out;
+    for (std::size_t i = 0; i < points; ++i) {
+        const double p =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        const auto idx = static_cast<std::size_t>(
+            p * static_cast<double>(samples.size() - 1));
+        out += strprintf("%12.2f  %.4f\n", samples[idx], p);
+    }
+    return out;
+}
+
+} // namespace analysis
+} // namespace treadmill

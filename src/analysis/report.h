@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Text rendering of tables and distribution series.
+ *
+ * The bench binaries regenerate the paper's tables and figures as
+ * text: Table IV-style coefficient tables, CDF series for the
+ * latency-distribution figures, and generic aligned column tables.
+ */
+
+#ifndef TREADMILL_ANALYSIS_REPORT_H_
+#define TREADMILL_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/attribution.h"
+
+namespace treadmill {
+namespace analysis {
+
+/** A generic aligned text table. */
+class TextTable
+{
+  public:
+    /** @param header Column titles. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row (must match the header's column count). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns; first column left-aligned, the
+     *  rest right-aligned. */
+    std::string render() const;
+
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Render a Table IV-style quantile-regression coefficient table:
+ * one row per term, Est./Std.Err/p-value blocks per quantile.
+ *
+ * @param significance Bold markers (here: a trailing '*') applied to
+ *        rows with p below this threshold, as the paper highlights
+ *        p < 0.05.
+ */
+std::string renderCoefficientTable(const AttributionResult &attribution,
+                                   double significance = 0.05);
+
+/**
+ * Render a CDF as "value cumulative-probability" rows, downsampled to
+ * @p points evenly spaced probabilities (a gnuplot-ready series).
+ */
+std::string renderCdf(std::vector<double> samples,
+                      std::size_t points = 50);
+
+/** Format microseconds compactly ("355 us", "<1 us"). */
+std::string formatMicros(double us);
+
+/** Format a p-value the way Table IV does ("<1e-06" under floor). */
+std::string formatPValue(double p);
+
+} // namespace analysis
+} // namespace treadmill
+
+#endif // TREADMILL_ANALYSIS_REPORT_H_

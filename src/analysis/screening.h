@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Factor screening by null-hypothesis testing (paper S IV-B).
+ *
+ * Before fitting the full factorial model, the paper identifies which
+ * candidate factors "actually have an impact on the tail latency"
+ * using null-hypothesis tests over experiments run under random
+ * permutations of all factors. screenFactors() implements that step:
+ * for each factor it splits the observations into low/high groups and
+ * permutation-tests the difference of the group tau-quantile means.
+ */
+
+#ifndef TREADMILL_ANALYSIS_SCREENING_H_
+#define TREADMILL_ANALYSIS_SCREENING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/attribution.h"
+
+namespace treadmill {
+namespace analysis {
+
+/** Screening verdict for one candidate factor. */
+struct FactorScreen {
+    std::string name;
+    double effectUs = 0.0; ///< mean(high group) - mean(low group).
+    double pValue = 1.0;
+    bool significant = false;
+};
+
+/** Controls for the screening pass. */
+struct ScreeningParams {
+    double tau = 0.99;
+    double significance = 0.05;
+    std::size_t permutations = 2000;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Screen all four factors against a set of observations collected
+ * under random factor permutations (collectObservations() output).
+ *
+ * @throws NumericalError when a factor never varies in the data.
+ */
+std::vector<FactorScreen>
+screenFactors(const std::vector<Observation> &observations,
+              const ScreeningParams &params);
+
+} // namespace analysis
+} // namespace treadmill
+
+#endif // TREADMILL_ANALYSIS_SCREENING_H_

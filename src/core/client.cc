@@ -1,0 +1,131 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace treadmill {
+namespace core {
+
+namespace {
+
+/** Connection ids are unique across instances. */
+std::uint64_t
+globalConnectionId(std::size_t instance, std::uint64_t local)
+{
+    return (static_cast<std::uint64_t>(instance) << 32) | local;
+}
+
+} // namespace
+
+LoadTesterInstance::LoadTesterInstance(sim::Simulation &sim_,
+                                       const ClientParams &params,
+                                       const WorkloadConfig &workload_,
+                                       TransmitFn transmit_)
+    : sim(sim_), cfg(params),
+      workload(workload_,
+               Rng(0x1f0adbeefcafe11ull).substream(params.seed * 3 + 1)),
+      transmit(std::move(transmit_)),
+      samples(params.collector,
+              Rng(0x1f0adbeefcafe22ull).substream(params.seed * 3 + 2)),
+      rng(Rng(0x1f0adbeefcafe33ull).substream(params.seed * 3 + 3))
+{
+    if (cfg.connections == 0)
+        throw ConfigError("client needs at least one connection");
+    TM_ASSERT(transmit != nullptr, "client needs a transmit callback");
+
+    if (cfg.loop == ControlLoop::OpenLoop) {
+        controller = std::make_unique<OpenLoopController>(
+            sim, cfg.requestsPerSecond, rng.substream(7));
+    } else {
+        controller = std::make_unique<ClosedLoopController>(
+            sim, cfg.closedLoopSlots, SimDuration{0},
+            cfg.rateLimitedClosedLoop ? cfg.requestsPerSecond : 0.0,
+            rng.substream(7), cfg.uniformClosedLoopSpacing);
+    }
+}
+
+void
+LoadTesterInstance::start()
+{
+    controller->start(
+        [this](SimTime intendedSend) { issueRequest(intendedSend); });
+}
+
+void
+LoadTesterInstance::stopLoad()
+{
+    controller->stop();
+}
+
+void
+LoadTesterInstance::issueRequest(SimTime intendedSend)
+{
+    auto request = std::make_shared<server::Request>();
+    request->seqId =
+        (static_cast<std::uint64_t>(cfg.index) << 40) | nextSeq++;
+    request->clientIndex = cfg.index;
+    request->connectionId = globalConnectionId(
+        cfg.index, nextConnection++ % cfg.connections);
+    workload.fill(*request);
+    request->intendedSend = intendedSend;
+
+    outstandingSamples.push_back(outstandingCount);
+    ++outstandingCount;
+    ++issuedCount;
+
+    // Request construction occupies the client CPU; an overloaded
+    // client delays the actual transmission (client-side queueing).
+    const SimTime startProcessing = std::max(sim.now(), cpuFreeAt);
+    const auto cost =
+        static_cast<SimDuration>(microseconds(cfg.sendCostUs));
+    cpuFreeAt = startProcessing + cost;
+    cpuBusy += cost;
+    sim.scheduleAt(cpuFreeAt, [this, request] {
+        request->clientSend = sim.now();
+        transmit(request);
+    });
+}
+
+void
+LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
+{
+    // Kernel interrupt handling between NIC and user code: the fixed
+    // offset the paper observes between tcpdump and tester curves.
+    const auto kernel =
+        static_cast<SimDuration>(microseconds(cfg.kernelDelayUs));
+    sim.schedule(kernel, [this, request = std::move(request)] {
+        // Response callback executes on the client CPU (inline, as
+        // with wangle, but it still queues if the CPU is busy).
+        const SimTime startProcessing = std::max(sim.now(), cpuFreeAt);
+        const auto cost =
+            static_cast<SimDuration>(microseconds(cfg.receiveCostUs));
+        cpuFreeAt = startProcessing + cost;
+        cpuBusy += cost;
+        sim.scheduleAt(cpuFreeAt, [this, request] {
+            request->clientReceive = sim.now();
+            TM_ASSERT(outstandingCount > 0,
+                      "response without an outstanding request");
+            --outstandingCount;
+            ++receivedCount;
+            samples.add(request->clientLatencyUs());
+            controller->onResponse();
+            if (completionHook)
+                completionHook(request);
+        });
+    });
+}
+
+double
+LoadTesterInstance::cpuUtilization() const
+{
+    const SimTime elapsed = sim.now();
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(std::min<SimDuration>(cpuBusy, elapsed)) /
+           static_cast<double>(elapsed);
+}
+
+} // namespace core
+} // namespace treadmill

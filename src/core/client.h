@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A load-tester instance on its own client machine.
+ *
+ * Each instance owns a controller (open- or closed-loop), a workload
+ * generator, a sample collector, and a model of the client machine's
+ * CPU: send construction and response-callback processing occupy the
+ * client CPU, so an overloaded client queues -- the client-side
+ * queueing bias of paper S II-C. A fixed kernel interrupt-handling
+ * delay sits between the client NIC and user code, producing the
+ * constant offset the paper observes between tcpdump and load-tester
+ * measurements (Figs 5-6).
+ */
+
+#ifndef TREADMILL_CORE_CLIENT_H_
+#define TREADMILL_CORE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/collector.h"
+#include "core/controller.h"
+#include "core/workload.h"
+#include "server/request.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace core {
+
+/** Configuration of one load-tester instance. */
+struct ClientParams {
+    std::size_t index = 0; ///< Instance number (also the seq-id space).
+    /** Open-loop issue rate for this instance. */
+    double requestsPerSecond = 10000.0;
+    /** Connections this instance multiplexes requests over. */
+    unsigned connections = 16;
+    ControlLoop loop = ControlLoop::OpenLoop;
+    /** Outstanding slots when loop == ClosedLoop. */
+    unsigned closedLoopSlots = 8;
+    /** Pace the closed loop at requestsPerSecond (Mutilate's
+     *  target-QPS mode); false = saturating worker loop. */
+    bool rateLimitedClosedLoop = true;
+    /** Rate-limited closed loop sends at exactly 1/rate intervals
+     *  (Mutilate's deterministic pacing, the inter-arrival pitfall)
+     *  instead of exponential ones. */
+    bool uniformClosedLoopSpacing = true;
+    SampleCollector::Params collector;
+    /** @name Client machine model
+     * @{
+     */
+    double sendCostUs = 1.0;    ///< CPU time to build + send a request.
+    double receiveCostUs = 1.2; ///< CPU time for the response callback.
+    double kernelDelayUs = 30.0; ///< NIC-to-user interrupt handling.
+    /** @} */
+    std::uint64_t seed = 1;
+};
+
+/** One running load-tester instance. */
+class LoadTesterInstance
+{
+  public:
+    /** Hands a fully built request to the harness for transmission. */
+    using TransmitFn = std::function<void(server::RequestPtr)>;
+
+    /**
+     * @param sim Owning simulation.
+     * @param params Instance configuration.
+     * @param workload Workload description.
+     * @param transmit Called when a request leaves the client NIC.
+     */
+    LoadTesterInstance(sim::Simulation &sim, const ClientParams &params,
+                       const WorkloadConfig &workload,
+                       TransmitFn transmit);
+
+    LoadTesterInstance(const LoadTesterInstance &) = delete;
+    LoadTesterInstance &operator=(const LoadTesterInstance &) = delete;
+
+    /** Begin generating load. */
+    void start();
+
+    /** Stop issuing new requests (in-flight ones still complete). */
+    void stopLoad();
+
+    /** The harness delivers a response packet arriving at this
+     *  client's NIC. */
+    void onResponseDelivered(server::RequestPtr request);
+
+    /** @name Observers
+     * @{
+     */
+    const SampleCollector &collector() const { return samples; }
+    bool done() const { return samples.done(); }
+    std::size_t outstanding() const { return outstandingCount; }
+    std::uint64_t issued() const { return issuedCount; }
+    std::uint64_t received() const { return receivedCount; }
+    /** Outstanding-request count observed at each send instant
+     *  (the Fig 1 distribution). */
+    const std::vector<std::uint64_t> &outstandingAtSend() const
+    {
+        return outstandingSamples;
+    }
+    /** Busy fraction of the client CPU. */
+    double cpuUtilization() const;
+    const ClientParams &params() const { return cfg; }
+    /** @} */
+
+    /**
+     * Install a hook invoked after each response has been fully
+     * processed and sampled (used by the experiment harness for
+     * latency decomposition and stop conditions).
+     */
+    void setCompletionHook(
+        std::function<void(const server::RequestPtr &)> hook)
+    {
+        completionHook = std::move(hook);
+    }
+
+  private:
+    /** Controller callback: build and send one request. */
+    void issueRequest(SimTime intendedSend);
+
+    sim::Simulation &sim;
+    ClientParams cfg;
+    WorkloadGenerator workload;
+    TransmitFn transmit;
+    std::unique_ptr<LoadController> controller;
+    SampleCollector samples;
+    Rng rng;
+
+    SimTime cpuFreeAt = 0;
+    SimDuration cpuBusy = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t nextConnection = 0;
+    std::size_t outstandingCount = 0;
+    std::uint64_t issuedCount = 0;
+    std::uint64_t receivedCount = 0;
+    std::vector<std::uint64_t> outstandingSamples;
+    std::function<void(const server::RequestPtr &)> completionHook;
+};
+
+} // namespace core
+} // namespace treadmill
+
+#endif // TREADMILL_CORE_CLIENT_H_

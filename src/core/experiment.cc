@@ -1,0 +1,349 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "net/capture.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace treadmill {
+namespace core {
+
+double
+ExperimentResult::aggregatedQuantile(double q, AggregationKind kind) const
+{
+    if (instances.empty())
+        throw NumericalError("experiment produced no instances");
+    if (kind == AggregationKind::Holistic)
+        return stats::quantile(mergedSamples(), q);
+
+    // Extract the metric per instance, then aggregate the metrics.
+    std::vector<double> metrics;
+    metrics.reserve(instances.size());
+    for (const InstanceReport &inst : instances) {
+        const auto it = inst.quantiles.find(q);
+        if (it != inst.quantiles.end()) {
+            metrics.push_back(it->second);
+        } else if (!inst.rawSamples.empty()) {
+            metrics.push_back(stats::quantile(inst.rawSamples, q));
+        }
+    }
+    if (metrics.empty())
+        throw NumericalError("no instance collected samples");
+    return stats::mean(metrics);
+}
+
+std::vector<double>
+ExperimentResult::mergedSamples() const
+{
+    std::vector<double> merged;
+    for (const InstanceReport &inst : instances)
+        merged.insert(merged.end(), inst.rawSamples.begin(),
+                      inst.rawSamples.end());
+    return merged;
+}
+
+std::size_t
+ExperimentResult::instancesAtTarget() const
+{
+    std::size_t n = 0;
+    for (const InstanceReport &inst : instances)
+        n += inst.reachedTarget ? 1 : 0;
+    return n;
+}
+
+double
+deriveRequestRate(const ExperimentParams &params)
+{
+    if (params.requestsPerSecond > 0.0)
+        return params.requestsPerSecond;
+
+    // Probe the expected per-request service time under this config by
+    // building a scratch machine with the run's placement.
+    sim::Simulation scratch;
+    hw::Machine machine(scratch, params.machine, params.config,
+                        params.seed);
+    double serviceSeconds = 0.0;
+    if (params.kind == WorkloadKind::Memcached) {
+        server::MemcachedServer probe(machine, params.memcachedParams,
+                                      params.seed);
+        serviceSeconds =
+            probe.expectedServiceSeconds(params.workload.valueBytesMean);
+    } else if (params.kind == WorkloadKind::Mcrouter) {
+        server::McrouterServer probe(machine, params.mcrouterParams,
+                                     params.seed);
+        serviceSeconds =
+            probe.expectedServiceSeconds(params.workload.valueBytesMean);
+    } else {
+        server::SqlishServer probe(machine, params.sqlishParams,
+                                   params.seed);
+        serviceSeconds = probe.expectedServiceSeconds();
+    }
+    TM_ASSERT(serviceSeconds > 0.0, "service time must be positive");
+    const double capacity =
+        static_cast<double>(params.machine.workerThreads) /
+        serviceSeconds;
+    return params.targetUtilization * capacity;
+}
+
+namespace {
+
+/** Standard quantile grid extracted from every instance collector. */
+const double kQuantileGrid[] = {0.5, 0.9, 0.95, 0.99, 0.999};
+
+/** Mutable state shared by the wiring lambdas. */
+struct Harness {
+    ExperimentParams params;
+    sim::Simulation sim;
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<server::MemcachedServer> memcached;
+    std::unique_ptr<server::McrouterServer> mcrouter;
+    std::unique_ptr<server::SqlishServer> sqlish;
+    std::unique_ptr<net::Cluster> cluster;
+    net::PacketCapture capture;
+    std::vector<std::unique_ptr<LoadTesterInstance>> instances;
+
+    std::uint64_t responsesCompleted = 0;
+    std::vector<double> serverComponentUs;
+    std::vector<double> networkComponentUs;
+    std::vector<double> clientComponentUs;
+    std::vector<double> getLatencyUs;
+    std::vector<double> setLatencyUs;
+
+    server::Service &
+    service()
+    {
+        if (memcached)
+            return *memcached;
+        if (mcrouter)
+            return *mcrouter;
+        return *sqlish;
+    }
+};
+
+} // namespace
+
+ExperimentResult
+runExperiment(const ExperimentParams &params)
+{
+    if (params.tester.clientMachines == 0)
+        throw ConfigError("experiment needs at least one client");
+
+    auto h = std::make_unique<Harness>();
+    h->params = params;
+
+    h->machine = std::make_unique<hw::Machine>(h->sim, params.machine,
+                                               params.config, params.seed);
+    if (params.kind == WorkloadKind::Memcached) {
+        h->memcached = std::make_unique<server::MemcachedServer>(
+            *h->machine, params.memcachedParams, params.seed);
+    } else if (params.kind == WorkloadKind::Mcrouter) {
+        h->mcrouter = std::make_unique<server::McrouterServer>(
+            *h->machine, params.mcrouterParams, params.seed);
+    } else {
+        h->sqlish = std::make_unique<server::SqlishServer>(
+            *h->machine, params.sqlishParams, params.seed);
+    }
+
+    std::vector<net::Cluster::ClientSpec> clientSpecs(
+        params.tester.clientMachines);
+    if (params.oneRemoteRackClient && !clientSpecs.empty())
+        clientSpecs[0].remoteRack = true;
+    h->cluster = std::make_unique<net::Cluster>(
+        h->sim, params.machine.nicGbps, clientSpecs);
+
+    const double totalRps = deriveRequestRate(params);
+    const double perClientRps =
+        totalRps / static_cast<double>(params.tester.clientMachines);
+
+    // Estimate the mean response time for closed-loop slot sizing:
+    // expected service + network round trip + client costs.
+    double estServiceSeconds = 0.0;
+    switch (params.kind) {
+      case WorkloadKind::Memcached:
+        estServiceSeconds = h->memcached->expectedServiceSeconds(
+            params.workload.valueBytesMean);
+        break;
+      case WorkloadKind::Mcrouter:
+        estServiceSeconds = h->mcrouter->expectedServiceSeconds(
+            params.workload.valueBytesMean);
+        break;
+      case WorkloadKind::Sqlish:
+        estServiceSeconds = h->sqlish->expectedServiceSeconds();
+        break;
+    }
+    const double estMeanResponseSeconds = estServiceSeconds + 20e-6;
+
+    for (std::size_t i = 0; i < params.tester.clientMachines; ++i) {
+        ClientParams cp;
+        cp.index = i;
+        cp.requestsPerSecond = perClientRps;
+        cp.connections = params.connectionsPerClientMux;
+        cp.loop = params.tester.loop;
+        cp.closedLoopSlots =
+            params.tester.connectionsPerClient > 0
+                ? params.tester.connectionsPerClient
+                : closedLoopConnectionsFor(perClientRps,
+                                           estMeanResponseSeconds);
+        cp.rateLimitedClosedLoop = params.tester.rateLimitedClosedLoop;
+        cp.collector = params.collector;
+        cp.sendCostUs = params.clientSendCostUs;
+        cp.receiveCostUs = params.clientReceiveCostUs;
+        cp.kernelDelayUs = params.clientKernelDelayUs;
+        cp.seed = params.seed * 1009 + i;
+
+        auto *harness = h.get();
+        auto instance = std::make_unique<LoadTesterInstance>(
+            h->sim, cp, params.workload,
+            [harness, i](server::RequestPtr request) {
+                // Client NIC -> network -> server NIC.
+                net::Packet pkt;
+                pkt.seqId = request->seqId;
+                pkt.connectionId = request->connectionId;
+                pkt.bytes = request->requestBytes;
+                pkt.kind = net::PacketKind::Request;
+                harness->cluster->clientToServer(i).send(
+                    harness->sim, pkt,
+                    [harness, request](const net::Packet &arrived) {
+                        harness->capture.onRequest(arrived,
+                                                   harness->sim.now());
+                        request->nicArrival = harness->sim.now();
+                        harness->service().receive(
+                            request,
+                            [harness](const server::RequestPtr &resp) {
+                                // Response leaves the server NIC.
+                                net::Packet out;
+                                out.seqId = resp->seqId;
+                                out.connectionId = resp->connectionId;
+                                out.bytes = resp->responseBytes;
+                                out.kind = net::PacketKind::Response;
+                                harness->capture.onResponse(
+                                    out, harness->sim.now());
+                                const auto client = static_cast<
+                                    std::size_t>(resp->clientIndex);
+                                harness->cluster->serverToClient(client)
+                                    .send(harness->sim, out,
+                                          [harness, resp,
+                                           client](const net::Packet &) {
+                                              resp->clientNicArrival =
+                                                  harness->sim.now();
+                                              harness->instances[client]
+                                                  ->onResponseDelivered(
+                                                      resp);
+                                          });
+                            });
+                    });
+            });
+        h->instances.push_back(std::move(instance));
+    }
+
+    // Completion hook: decompose latency, stop load at per-instance
+    // targets, stop the simulation when every instance is done.
+    for (auto &instance : h->instances) {
+        auto *harness = h.get();
+        instance->setCompletionHook(
+            [harness](const server::RequestPtr &req) {
+                ++harness->responsesCompleted;
+                harness->serverComponentUs.push_back(
+                    req->serverLatencyUs());
+                harness->networkComponentUs.push_back(
+                    toMicros((req->nicArrival - req->clientSend) +
+                             (req->clientNicArrival -
+                              req->nicDeparture)));
+                harness->clientComponentUs.push_back(
+                    toMicros((req->clientSend - req->intendedSend) +
+                             (req->clientReceive -
+                              req->clientNicArrival)));
+                (req->op == server::OpType::Get
+                     ? harness->getLatencyUs
+                     : harness->setLatencyUs)
+                    .push_back(req->clientLatencyUs());
+
+                bool allDone = true;
+                for (auto &inst : harness->instances) {
+                    if (inst->done())
+                        inst->stopLoad();
+                    else
+                        allDone = false;
+                }
+                if (allDone)
+                    harness->sim.stop();
+            });
+    }
+
+    for (auto &instance : h->instances)
+        instance->start();
+    h->sim.scheduleAt(params.deadline, [harness = h.get()] {
+        warn("experiment hit its simulated-time deadline");
+        harness->sim.stop();
+    });
+    h->sim.run();
+
+    // Harvest results.
+    ExperimentResult result;
+    result.targetRps = totalRps;
+    result.simulatedTime = h->sim.now();
+    result.serverUtilization = h->machine->workerUtilization();
+    result.frequencyTransitions = h->machine->totalFrequencyTransitions();
+    result.achievedRps =
+        h->sim.now() > 0
+            ? static_cast<double>(h->responsesCompleted) /
+                  toSeconds(h->sim.now())
+            : 0.0;
+    result.groundTruthUs = h->capture.latenciesUs();
+    result.serverComponentUs = std::move(h->serverComponentUs);
+    result.networkComponentUs = std::move(h->networkComponentUs);
+    result.clientComponentUs = std::move(h->clientComponentUs);
+    result.getLatencyUs = std::move(h->getLatencyUs);
+    result.setLatencyUs = std::move(h->setLatencyUs);
+
+    for (std::size_t i = 0; i < h->instances.size(); ++i) {
+        const LoadTesterInstance &inst = *h->instances[i];
+        InstanceReport report;
+        report.rawSamples = inst.collector().rawSamples();
+        report.measured = inst.collector().measured();
+        report.reachedTarget = inst.done();
+        report.cpuUtilization = inst.cpuUtilization();
+        report.remoteRack = h->cluster->isRemoteRack(i);
+        report.outstandingAtSend = inst.outstandingAtSend();
+        report.trajectory = inst.collector().trajectory();
+        if (report.measured > 0) {
+            for (double q : kQuantileGrid)
+                report.quantiles[q] = inst.collector().quantile(q);
+        }
+        result.instances.push_back(std::move(report));
+    }
+    return result;
+}
+
+ProcedureResult
+repeatedProcedure(const ProcedureParams &params)
+{
+    stats::ConvergenceTracker tracker(params.tolerance, params.window,
+                                      params.minRuns);
+    ProcedureResult result;
+    for (std::size_t run = 0; run < params.maxRuns; ++run) {
+        ExperimentParams runParams = params.base;
+        // Fresh run seed => fresh placement: the hysteresis dimension.
+        runParams.seed = params.base.seed + run * 7919 + 13;
+        const ExperimentResult outcome = runExperiment(runParams);
+        const double metric = outcome.aggregatedQuantile(
+            params.quantile, params.aggregation);
+        tracker.add(metric);
+        result.perRunMetric.push_back(metric);
+        if (tracker.converged())
+            break;
+    }
+    result.runs = result.perRunMetric.size();
+    result.mean = stats::mean(result.perRunMetric);
+    result.stddev = stats::stddev(result.perRunMetric);
+    result.converged = tracker.converged();
+    return result;
+}
+
+} // namespace core
+} // namespace treadmill

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The tail-latency measurement procedure (paper S III-B).
+ *
+ * runExperiment() assembles one complete load test: a configured
+ * server machine, a Memcached or mcrouter instance, a cluster of
+ * client machines each running one load-tester instance, and the
+ * tcpdump-equivalent ground-truth capture at the server NIC. The
+ * result exposes per-instance statistics (extract-then-aggregate, the
+ * correct procedure) alongside the holistic merge (the biased one),
+ * plus the ground truth and a full latency decomposition.
+ *
+ * repeatedProcedure() implements the hysteresis-aware outer loop: the
+ * same experiment is re-run with fresh run seeds (new placements)
+ * until the mean of the per-run metrics converges.
+ */
+
+#ifndef TREADMILL_CORE_EXPERIMENT_H_
+#define TREADMILL_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/client.h"
+#include "core/tester_spec.h"
+#include "core/workload.h"
+#include "hw/hardware_config.h"
+#include "hw/machine_spec.h"
+#include "server/mcrouter.h"
+#include "server/memcached.h"
+#include "server/sqlish.h"
+#include "stats/convergence.h"
+#include "util/types.h"
+
+namespace treadmill {
+namespace core {
+
+/** Which server the experiment drives. */
+enum class WorkloadKind { Memcached, Mcrouter, Sqlish };
+
+/** Everything needed to run one load-test experiment. */
+struct ExperimentParams {
+    WorkloadKind kind = WorkloadKind::Memcached;
+    WorkloadConfig workload;
+    hw::MachineSpec machine;
+    hw::HardwareConfig config;
+    server::MemcachedParams memcachedParams;
+    server::McrouterParams mcrouterParams;
+    server::SqlishParams sqlishParams;
+    TesterSpec tester; ///< Defaults to treadmillSpec().
+
+    /**
+     * Explicit total request rate; when 0, the rate is derived from
+     * targetUtilization and the config's expected service time.
+     */
+    double requestsPerSecond = 0.0;
+    double targetUtilization = 0.70;
+
+    SampleCollector::Params collector;
+    /** Connections each instance multiplexes over (open loop). */
+    unsigned connectionsPerClientMux = 16;
+    /** Place the first client on the remote rack (Fig 2 scenario). */
+    bool oneRemoteRackClient = false;
+
+    /** @name Client machine model (per instance)
+     * @{
+     */
+    double clientSendCostUs = 1.0;
+    double clientReceiveCostUs = 1.2;
+    double clientKernelDelayUs = 30.0;
+    /** @} */
+
+    /** Run seed: placement identity (hysteresis) + all randomness. */
+    std::uint64_t seed = 1;
+    /** Simulated-time safety cap. */
+    SimDuration deadline = seconds(60);
+
+    ExperimentParams() { tester = treadmillSpec(); }
+};
+
+/** Per-instance view of an experiment. */
+struct InstanceReport {
+    std::vector<double> rawSamples; ///< Reservoir of measured latencies.
+    std::map<double, double> quantiles; ///< From the instance collector.
+    double cpuUtilization = 0.0;
+    std::uint64_t measured = 0;
+    bool reachedTarget = false;
+    bool remoteRack = false;
+    std::vector<std::uint64_t> outstandingAtSend;
+    std::vector<std::pair<std::uint64_t, double>> trajectory;
+};
+
+/** Outcome of one experiment run. */
+struct ExperimentResult {
+    std::vector<InstanceReport> instances;
+    /** Ground-truth server-residence latencies from the capture, us. */
+    std::vector<double> groundTruthUs;
+
+    double targetRps = 0.0;
+    double achievedRps = 0.0;
+    double serverUtilization = 0.0;
+    std::uint64_t frequencyTransitions = 0;
+    SimTime simulatedTime = 0;
+
+    /** @name Latency decomposition samples (Fig 3), microseconds
+     * @{
+     */
+    std::vector<double> serverComponentUs;
+    std::vector<double> networkComponentUs;
+    std::vector<double> clientComponentUs;
+    /** @} */
+
+    /** @name Per-operation-type latencies (S II-B notes that request
+     * types with distinct characteristics must not be merged blindly)
+     * @{
+     */
+    std::vector<double> getLatencyUs;
+    std::vector<double> setLatencyUs;
+    /** @} */
+
+    /**
+     * The q-quantile aggregated across instances: PerInstance computes
+     * each instance's quantile then averages (Treadmill's procedure);
+     * Holistic merges every raw sample first (the biased baseline).
+     */
+    double aggregatedQuantile(double q, AggregationKind kind) const;
+
+    /** All instances' raw samples merged (for CDFs and Fig 2). */
+    std::vector<double> mergedSamples() const;
+
+    /** Number of instances that reached their measurement target. */
+    std::size_t instancesAtTarget() const;
+};
+
+/**
+ * Translate the params' utilization target into a total request rate
+ * for this config/seed (uses the expected service time at nominal
+ * frequency).
+ */
+double deriveRequestRate(const ExperimentParams &params);
+
+/** Run one complete experiment. */
+ExperimentResult runExperiment(const ExperimentParams &params);
+
+/** Parameters of the hysteresis-aware repeated procedure. */
+struct ProcedureParams {
+    ExperimentParams base;
+    double quantile = 0.99;
+    AggregationKind aggregation = AggregationKind::PerInstance;
+    std::size_t minRuns = 5;
+    std::size_t maxRuns = 30;
+    double tolerance = 0.02;
+    std::size_t window = 3;
+};
+
+/** Outcome of the repeated procedure. */
+struct ProcedureResult {
+    std::vector<double> perRunMetric; ///< One converged value per run.
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::size_t runs = 0;
+    bool converged = false;
+};
+
+/**
+ * Repeat the experiment with fresh run seeds until the running mean of
+ * the per-run metric converges (or maxRuns is reached).
+ */
+ProcedureResult repeatedProcedure(const ProcedureParams &params);
+
+} // namespace core
+} // namespace treadmill
+
+#endif // TREADMILL_CORE_EXPERIMENT_H_

@@ -1,0 +1,119 @@
+#include "core/tester_spec.h"
+
+namespace treadmill {
+namespace core {
+
+TesterSpec
+treadmillSpec()
+{
+    TesterSpec spec;
+    spec.name = "Treadmill";
+    spec.loop = ControlLoop::OpenLoop;
+    spec.clientMachines = 8;
+    spec.histogram = HistogramKind::Adaptive;
+    spec.aggregation = AggregationKind::PerInstance;
+    spec.repeatsExperiments = true;
+    spec.general = true;
+    return spec;
+}
+
+TesterSpec
+mutilateSpec()
+{
+    TesterSpec spec;
+    spec.name = "Mutilate";
+    spec.loop = ControlLoop::ClosedLoop;
+    spec.clientMachines = 8; // 8 agents + 1 master in the paper setup
+    spec.connectionsPerClient = 8;
+    spec.histogram = HistogramKind::Raw;
+    spec.aggregation = AggregationKind::Holistic;
+    spec.repeatsExperiments = false;
+    spec.general = true;
+    return spec;
+}
+
+TesterSpec
+cloudSuiteSpec()
+{
+    TesterSpec spec;
+    spec.name = "CloudSuite";
+    spec.loop = ControlLoop::ClosedLoop;
+    spec.clientMachines = 1; // single load-generator machine
+    spec.connectionsPerClient = 64;
+    spec.histogram = HistogramKind::Static;
+    spec.aggregation = AggregationKind::Holistic;
+    spec.repeatsExperiments = false;
+    spec.general = false;
+    return spec;
+}
+
+TesterSpec
+ycsbSpec()
+{
+    TesterSpec spec;
+    spec.name = "YCSB";
+    spec.loop = ControlLoop::ClosedLoop;
+    spec.clientMachines = 1;
+    spec.connectionsPerClient = 32; // worker threads
+    spec.histogram = HistogramKind::Static;
+    spec.aggregation = AggregationKind::Holistic;
+    spec.repeatsExperiments = false;
+    spec.general = true;
+    return spec;
+}
+
+TesterSpec
+fabanSpec()
+{
+    TesterSpec spec;
+    spec.name = "Faban";
+    spec.loop = ControlLoop::ClosedLoop;
+    spec.clientMachines = 4;
+    spec.connectionsPerClient = 16;
+    spec.histogram = HistogramKind::Static;
+    spec.aggregation = AggregationKind::Holistic;
+    spec.repeatsExperiments = false;
+    spec.general = true;
+    return spec;
+}
+
+std::vector<TesterSpec>
+surveyedTesters()
+{
+    return {ycsbSpec(), fabanSpec(), cloudSuiteSpec(), mutilateSpec(),
+            treadmillSpec()};
+}
+
+bool
+hasProperInterArrival(const TesterSpec &spec)
+{
+    return spec.loop == ControlLoop::OpenLoop;
+}
+
+bool
+hasProperAggregation(const TesterSpec &spec)
+{
+    return spec.histogram == HistogramKind::Adaptive &&
+           spec.aggregation == AggregationKind::PerInstance;
+}
+
+bool
+avoidsClientQueueingBias(const TesterSpec &spec)
+{
+    return spec.clientMachines > 1;
+}
+
+bool
+handlesHysteresis(const TesterSpec &spec)
+{
+    return spec.repeatsExperiments;
+}
+
+bool
+hasGenerality(const TesterSpec &spec)
+{
+    return spec.general;
+}
+
+} // namespace core
+} // namespace treadmill

@@ -1,0 +1,96 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace core {
+
+WorkloadConfig
+WorkloadConfig::fromJson(const json::Value &doc)
+{
+    WorkloadConfig cfg;
+    cfg.getFraction = doc.numberOr("get_fraction", cfg.getFraction);
+    cfg.keySpace = static_cast<std::uint64_t>(
+        doc.intOr("key_space", static_cast<std::int64_t>(cfg.keySpace)));
+    cfg.zipfSkew = doc.numberOr("zipf_skew", cfg.zipfSkew);
+    if (doc.contains("value_bytes")) {
+        const json::Value &vb = doc.at("value_bytes");
+        cfg.valueBytesMean = vb.numberOr("mean", cfg.valueBytesMean);
+        cfg.valueBytesSigma = vb.numberOr("sigma", cfg.valueBytesSigma);
+    }
+    cfg.requestOverheadBytes = static_cast<std::uint32_t>(doc.intOr(
+        "request_overhead_bytes",
+        static_cast<std::int64_t>(cfg.requestOverheadBytes)));
+    cfg.validate();
+    return cfg;
+}
+
+json::Value
+WorkloadConfig::toJson() const
+{
+    json::Object vb;
+    vb["mean"] = json::Value(valueBytesMean);
+    vb["sigma"] = json::Value(valueBytesSigma);
+
+    json::Object doc;
+    doc["get_fraction"] = json::Value(getFraction);
+    doc["key_space"] =
+        json::Value(static_cast<std::int64_t>(keySpace));
+    doc["zipf_skew"] = json::Value(zipfSkew);
+    doc["value_bytes"] = json::Value(std::move(vb));
+    doc["request_overhead_bytes"] =
+        json::Value(static_cast<std::int64_t>(requestOverheadBytes));
+    return json::Value(std::move(doc));
+}
+
+void
+WorkloadConfig::validate() const
+{
+    if (getFraction < 0.0 || getFraction > 1.0)
+        throw ConfigError("get_fraction must lie in [0, 1]");
+    if (keySpace == 0)
+        throw ConfigError("key_space must be positive");
+    if (zipfSkew < 0.0 || zipfSkew == 1.0)
+        throw ConfigError("zipf_skew must be >= 0 and != 1");
+    if (!(valueBytesMean > 0.0))
+        throw ConfigError("value_bytes.mean must be positive");
+    if (valueBytesSigma < 0.0)
+        throw ConfigError("value_bytes.sigma must be non-negative");
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig &config,
+                                     const Rng &rng_)
+    : cfg(config), rng(rng_), isGet(config.getFraction),
+      valueSize(config.valueBytesSigma > 0.0
+                    ? LogNormal::fromMoments(config.valueBytesMean,
+                                             config.valueBytesSigma)
+                    : LogNormal(std::log(config.valueBytesMean), 0.0))
+{
+    cfg.validate();
+    if (cfg.zipfSkew > 0.0)
+        zipf = std::make_unique<Zipf>(cfg.keySpace, cfg.zipfSkew);
+}
+
+void
+WorkloadGenerator::fill(server::Request &request)
+{
+    request.op = isGet.sample(rng) ? server::OpType::Get
+                                   : server::OpType::Set;
+    const std::uint64_t keyIdx =
+        zipf ? zipf->sample(rng) : rng.nextBelow(cfg.keySpace);
+    request.key = strprintf("key:%llu",
+                            static_cast<unsigned long long>(keyIdx));
+    request.valueBytes = static_cast<std::uint32_t>(
+        std::clamp(valueSize.sample(rng), 1.0, 64.0 * 1024.0));
+    request.requestBytes =
+        cfg.requestOverheadBytes +
+        static_cast<std::uint32_t>(request.key.size()) +
+        (request.op == server::OpType::Set ? request.valueBytes : 0);
+}
+
+} // namespace core
+} // namespace treadmill

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Configurable workload characteristics (paper S III-A, "Configurable
+ * workload"): the GET/SET mix, key popularity, and value sizes that a
+ * load test drives, describable in a JSON file exactly as Treadmill's
+ * workload configs are.
+ */
+
+#ifndef TREADMILL_CORE_WORKLOAD_H_
+#define TREADMILL_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/request.h"
+#include "util/json.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace core {
+
+/** Declarative description of the request stream. */
+struct WorkloadConfig {
+    /** Fraction of requests that are GETs (rest are SETs). */
+    double getFraction = 0.95;
+    /** Number of distinct keys. */
+    std::uint64_t keySpace = 100000;
+    /** Zipf skew over keys; 0 selects uniform popularity. */
+    double zipfSkew = 0.99;
+    /** Mean of the (lognormal) value-size distribution, bytes. */
+    double valueBytesMean = 100.0;
+    /** Standard deviation of value sizes, bytes (0 = fixed size). */
+    double valueBytesSigma = 60.0;
+    /** Protocol + header overhead added to each request packet. */
+    std::uint32_t requestOverheadBytes = 80;
+
+    /**
+     * Parse from a JSON document, e.g.:
+     * {"get_fraction": 0.95, "key_space": 100000, "zipf_skew": 0.99,
+     *  "value_bytes": {"mean": 100, "sigma": 60},
+     *  "request_overhead_bytes": 80}
+     * Missing keys keep their defaults.
+     *
+     * @throws ConfigError on malformed or out-of-range values.
+     */
+    static WorkloadConfig fromJson(const json::Value &doc);
+
+    /** Serialize back to the JSON schema fromJson() accepts. */
+    json::Value toJson() const;
+
+    /** Validate ranges; throws ConfigError when inconsistent. */
+    void validate() const;
+};
+
+/** Draws concrete requests from a WorkloadConfig. */
+class WorkloadGenerator
+{
+  public:
+    /**
+     * @param config Workload description (copied).
+     * @param rng Private randomness stream for this generator.
+     */
+    WorkloadGenerator(const WorkloadConfig &config, const Rng &rng);
+
+    /**
+     * Populate @p request with op, key, sizes (everything except ids,
+     * timestamps, and connection assignment).
+     */
+    void fill(server::Request &request);
+
+    const WorkloadConfig &config() const { return cfg; }
+
+  private:
+    WorkloadConfig cfg;
+    Rng rng;
+    Bernoulli isGet;
+    std::unique_ptr<Zipf> zipf; ///< Null for uniform popularity.
+    LogNormal valueSize;
+};
+
+} // namespace core
+} // namespace treadmill
+
+#endif // TREADMILL_CORE_WORKLOAD_H_

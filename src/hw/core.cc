@@ -1,0 +1,62 @@
+#include "hw/core.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treadmill {
+namespace hw {
+
+Core::Core(sim::Simulation &sim_, unsigned coreId, DurationFn durationOf_)
+    : sim(sim_), id(coreId), durationOf(std::move(durationOf_))
+{
+    TM_ASSERT(durationOf != nullptr, "core needs a duration model");
+}
+
+void
+Core::submit(WorkItem item)
+{
+    queue.push_back(std::move(item));
+    if (!executing)
+        startNext();
+}
+
+void
+Core::startNext()
+{
+    TM_ASSERT(!queue.empty(), "startNext on an empty core queue");
+    executing = true;
+    WorkItem item = std::move(queue.front());
+    queue.pop_front();
+
+    const SimTime start = sim.now();
+    const SimDuration duration = durationOf(id, item);
+    totalBusy += duration;
+
+    sim.schedule(duration, [this, start,
+                            done = std::move(item.done)] {
+        ++completedCount;
+        executing = false;
+        // Start the next queued item before invoking the callback: the
+        // callback may submit new work to this core, and it must queue
+        // behind work that was already waiting.
+        if (!queue.empty())
+            startNext();
+        if (done)
+            done(start, sim.now());
+    });
+}
+
+double
+Core::utilization() const
+{
+    const SimTime elapsed = sim.now();
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(
+               std::min<SimDuration>(totalBusy, elapsed)) /
+           static_cast<double>(elapsed);
+}
+
+} // namespace hw
+} // namespace treadmill

@@ -1,0 +1,74 @@
+#include "hw/hardware_config.h"
+
+#include "util/logging.h"
+
+namespace treadmill {
+namespace hw {
+
+std::array<double, 4>
+HardwareConfig::levels() const
+{
+    return {numaHigh() ? 1.0 : 0.0, turboHigh() ? 1.0 : 0.0,
+            dvfsHigh() ? 1.0 : 0.0, nicHigh() ? 1.0 : 0.0};
+}
+
+HardwareConfig
+HardwareConfig::fromIndex(unsigned index)
+{
+    TM_ASSERT(index < 16, "hardware config index out of range");
+    HardwareConfig cfg;
+    cfg.numa = (index & 1u) ? NumaPolicy::Interleave : NumaPolicy::SameNode;
+    cfg.turbo = (index & 2u) ? TurboMode::On : TurboMode::Off;
+    cfg.dvfs = (index & 4u) ? DvfsGovernor::Performance
+                            : DvfsGovernor::Ondemand;
+    cfg.nic = (index & 8u) ? NicAffinity::AllNodes : NicAffinity::SameNode;
+    return cfg;
+}
+
+unsigned
+HardwareConfig::index() const
+{
+    return (numaHigh() ? 1u : 0u) | (turboHigh() ? 2u : 0u) |
+           (dvfsHigh() ? 4u : 0u) | (nicHigh() ? 8u : 0u);
+}
+
+std::string
+HardwareConfig::label() const
+{
+    std::string out;
+    out += numaHigh() ? "numa-high" : "numa-low";
+    out += turboHigh() ? ",turbo-high" : ",turbo-low";
+    out += dvfsHigh() ? ",dvfs-high" : ",dvfs-low";
+    out += nicHigh() ? ",nic-high" : ",nic-low";
+    return out;
+}
+
+std::string
+HardwareConfig::bits() const
+{
+    std::string out;
+    for (double level : levels())
+        out += level > 0.5 ? '1' : '0';
+    return out;
+}
+
+const std::vector<std::string> &
+factorNames()
+{
+    static const std::vector<std::string> names{"numa", "turbo", "dvfs",
+                                                "nic"};
+    return names;
+}
+
+std::vector<HardwareConfig>
+allConfigs()
+{
+    std::vector<HardwareConfig> configs;
+    configs.reserve(16);
+    for (unsigned i = 0; i < 16; ++i)
+        configs.push_back(HardwareConfig::fromIndex(i));
+    return configs;
+}
+
+} // namespace hw
+} // namespace treadmill

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The four hardware factors of the paper's Table III.
+ *
+ * Each factor is a 2-level switch; a HardwareConfig is one cell of the
+ * 2^4 full-factorial design. Level coding follows the paper exactly:
+ * low = 0, high = 1, with the high level being {interleave, turbo on,
+ * performance governor, all-nodes NIC affinity}.
+ */
+
+#ifndef TREADMILL_HW_HARDWARE_CONFIG_H_
+#define TREADMILL_HW_HARDWARE_CONFIG_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace treadmill {
+namespace hw {
+
+/** NUMA memory allocation policy for connection buffers. */
+enum class NumaPolicy { SameNode, Interleave };
+
+/** Turbo Boost enablement. */
+enum class TurboMode { Off, On };
+
+/** DVFS governor selection. */
+enum class DvfsGovernor { Ondemand, Performance };
+
+/** NIC interrupt-queue to core mapping. */
+enum class NicAffinity { SameNode, AllNodes };
+
+/** One permutation of the four factor levels (a Table III row set). */
+struct HardwareConfig {
+    NumaPolicy numa = NumaPolicy::SameNode;
+    TurboMode turbo = TurboMode::Off;
+    DvfsGovernor dvfs = DvfsGovernor::Ondemand;
+    NicAffinity nic = NicAffinity::SameNode;
+
+    /** @name Paper-style 0/1 level coding (Table III)
+     * @{
+     */
+    bool numaHigh() const { return numa == NumaPolicy::Interleave; }
+    bool turboHigh() const { return turbo == TurboMode::On; }
+    bool dvfsHigh() const { return dvfs == DvfsGovernor::Performance; }
+    bool nicHigh() const { return nic == NicAffinity::AllNodes; }
+    /** @} */
+
+    /** Factor levels as a 0/1 vector in canonical order. */
+    std::array<double, 4> levels() const;
+
+    /** Build from a 4-bit index (bit 0 = numa ... bit 3 = nic). */
+    static HardwareConfig fromIndex(unsigned index);
+
+    /** Index of this config in the 16-cell factorial enumeration. */
+    unsigned index() const;
+
+    /** "numa-high,turbo-low,dvfs-low,nic-high" (Fig 7 legend style). */
+    std::string label() const;
+
+    /** Short label such as "1010" in canonical factor order. */
+    std::string bits() const;
+
+    bool operator==(const HardwareConfig &other) const = default;
+};
+
+/** Canonical factor names in design order. */
+const std::vector<std::string> &factorNames();
+
+/** All 16 configurations in index order. */
+std::vector<HardwareConfig> allConfigs();
+
+} // namespace hw
+} // namespace treadmill
+
+#endif // TREADMILL_HW_HARDWARE_CONFIG_H_

@@ -1,0 +1,56 @@
+#include "hw/thermal.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace treadmill {
+namespace hw {
+
+ThermalModel::ThermalModel(double capacityNs, double refillPerNs)
+    : capacity(capacityNs), refillRate(refillPerNs), tokens(capacityNs)
+{
+    if (!(capacityNs > 0.0) || !(refillPerNs > 0.0))
+        throw ConfigError("thermal capacity and refill must be positive");
+}
+
+void
+ThermalModel::refillTo(SimTime now)
+{
+    TM_ASSERT(now >= lastUpdate, "thermal model time went backwards");
+    tokens = std::min(capacity,
+                      tokens + refillRate *
+                                   static_cast<double>(now - lastUpdate));
+    lastUpdate = now;
+}
+
+double
+ThermalModel::request(SimTime now, double wantNs, double costMultiplier)
+{
+    TM_ASSERT(costMultiplier > 0.0, "turbo cost must be positive");
+    if (wantNs <= 0.0)
+        return 0.0;
+    refillTo(now);
+    const double granted =
+        std::min(wantNs, tokens / costMultiplier);
+    tokens -= granted * costMultiplier;
+    return granted;
+}
+
+double
+ThermalModel::available(SimTime now)
+{
+    refillTo(now);
+    return tokens;
+}
+
+void
+ThermalModel::reset()
+{
+    tokens = capacity;
+    lastUpdate = 0;
+}
+
+} // namespace hw
+} // namespace treadmill

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine-wide thermal headroom governing Turbo Boost residency.
+ *
+ * Turbo and the DVFS governor "interact indirectly through competing
+ * for the thermal headroom" (paper S I). ThermalModel is a token
+ * bucket of turbo-nanoseconds: capacity is the package's thermal mass,
+ * refill is its cooling rate, and running with the performance
+ * governor (all cores held at nominal voltage) raises the cost of
+ * every turbo nanosecond. At high utilization many cores bid for the
+ * same bucket, so per-request turbo residency falls -- reproducing
+ * Finding 8's load dependence.
+ */
+
+#ifndef TREADMILL_HW_THERMAL_H_
+#define TREADMILL_HW_THERMAL_H_
+
+#include "util/types.h"
+
+namespace treadmill {
+namespace hw {
+
+/** Token bucket of turbo-nanoseconds with continuous refill. */
+class ThermalModel
+{
+  public:
+    /**
+     * @param capacityNs Bucket capacity (turbo-ns of stored headroom).
+     * @param refillPerNs Turbo-ns earned per wall-clock ns.
+     */
+    ThermalModel(double capacityNs, double refillPerNs);
+
+    /**
+     * Request up to @p wantNs of turbo residency at time @p now.
+     *
+     * @param costMultiplier Headroom cost per granted ns (>1 when the
+     *        package is already running hot).
+     * @return Granted turbo-ns, in [0, wantNs].
+     */
+    double request(SimTime now, double wantNs, double costMultiplier);
+
+    /** Currently stored headroom (after refill to @p now). */
+    double available(SimTime now);
+
+    /** Reset to a full bucket at time zero. */
+    void reset();
+
+  private:
+    /** Apply refill up to @p now. */
+    void refillTo(SimTime now);
+
+    double capacity;
+    double refillRate;
+    double tokens;
+    SimTime lastUpdate = 0;
+};
+
+} // namespace hw
+} // namespace treadmill
+
+#endif // TREADMILL_HW_THERMAL_H_

@@ -1,0 +1,35 @@
+#include "net/capture.h"
+
+namespace treadmill {
+namespace net {
+
+void
+PacketCapture::onRequest(const Packet &packet, SimTime when)
+{
+    ++requests;
+    pending[packet.seqId] = when;
+}
+
+void
+PacketCapture::onResponse(const Packet &packet, SimTime when)
+{
+    const auto it = pending.find(packet.seqId);
+    if (it == pending.end()) {
+        ++unmatched;
+        return;
+    }
+    matched.push_back(toMicros(when - it->second));
+    pending.erase(it);
+}
+
+void
+PacketCapture::reset()
+{
+    pending.clear();
+    matched.clear();
+    requests = 0;
+    unmatched = 0;
+}
+
+} // namespace net
+} // namespace treadmill

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ground-truth latency capture at the server NIC (the tcpdump analogue).
+ *
+ * The paper validates load-tester measurements against tcpdump running
+ * on an isolated core, matching request and response packets by TCP
+ * sequence id and differencing the NIC timestamps. PacketCapture does
+ * exactly that against simulated NIC events, giving each experiment an
+ * incorruptible server-residence latency distribution.
+ */
+
+#ifndef TREADMILL_NET_CAPTURE_H_
+#define TREADMILL_NET_CAPTURE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/types.h"
+
+namespace treadmill {
+namespace net {
+
+/** Matches request/response packet pairs and records their latency. */
+class PacketCapture
+{
+  public:
+    PacketCapture() = default;
+
+    /** Record a request packet arriving at the NIC at @p when. */
+    void onRequest(const Packet &packet, SimTime when);
+
+    /** Record a response packet leaving the NIC at @p when. */
+    void onResponse(const Packet &packet, SimTime when);
+
+    /** Matched request->response latencies, in microseconds. */
+    const std::vector<double> &latenciesUs() const { return matched; }
+
+    /** Requests seen so far. */
+    std::uint64_t requestsSeen() const { return requests; }
+
+    /** Responses that arrived with no matching request. */
+    std::uint64_t unmatchedResponses() const { return unmatched; }
+
+    /** Requests still awaiting a response. */
+    std::size_t outstanding() const { return pending.size(); }
+
+    /** Forget everything recorded so far (e.g., at warm-up end). */
+    void reset();
+
+  private:
+    std::unordered_map<std::uint64_t, SimTime> pending;
+    std::vector<double> matched;
+    std::uint64_t requests = 0;
+    std::uint64_t unmatched = 0;
+};
+
+} // namespace net
+} // namespace treadmill
+
+#endif // TREADMILL_NET_CAPTURE_H_

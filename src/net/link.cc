@@ -1,0 +1,56 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace net {
+
+Link::Link(sim::Simulation &sim_, std::string name, double gbps,
+           SimDuration propagation_)
+    : sim(sim_), linkName(std::move(name)),
+      bytesPerNs(gbps / 8.0), propagation(propagation_)
+{
+    if (!(gbps > 0.0))
+        throw ConfigError("link bandwidth must be positive");
+}
+
+SimDuration
+Link::transmitTime(std::uint32_t bytes) const
+{
+    return static_cast<SimDuration>(
+        std::max(1.0, static_cast<double>(bytes) / bytesPerNs));
+}
+
+void
+Link::send(const Packet &packet, DeliveryFn onDelivered)
+{
+    ++totalPackets;
+    totalBytes += packet.bytes;
+
+    const SimTime now = sim.now();
+    const SimDuration serialize = transmitTime(packet.bytes);
+    const SimTime start = std::max(now, transmitterFreeAt);
+    transmitterFreeAt = start + serialize;
+    busyTime += serialize;
+
+    const SimTime deliverAt = transmitterFreeAt + propagation;
+    Packet copy = packet;
+    sim.scheduleAt(deliverAt,
+                   [cb = std::move(onDelivered), copy] { cb(copy); });
+}
+
+double
+Link::utilization() const
+{
+    const SimTime elapsed = sim.now();
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(std::min<SimDuration>(busyTime, elapsed)) /
+           static_cast<double>(elapsed);
+}
+
+} // namespace net
+} // namespace treadmill

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A network link with bandwidth, propagation delay, and FIFO queueing.
+ *
+ * Links are the source of the paper's "network latency" component
+ * (Fig 3): when a link's offered load approaches its bandwidth, packets
+ * queue behind each other and the measured latency inflates.
+ */
+
+#ifndef TREADMILL_NET_LINK_H_
+#define TREADMILL_NET_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/simulation.h"
+#include "util/types.h"
+
+namespace treadmill {
+namespace net {
+
+/** Callback invoked when a packet finishes crossing a link. */
+using DeliveryFn = std::function<void(const Packet &)>;
+
+/**
+ * A point-to-point link modeled as a deterministic single server:
+ * serialization time = bytes / bandwidth, plus propagation delay.
+ * Packets that arrive while the transmitter is busy queue FIFO.
+ */
+class Link
+{
+  public:
+    /**
+     * @param sim Owning simulation.
+     * @param name Diagnostic name ("client0-uplink").
+     * @param gbps Bandwidth in gigabits per second.
+     * @param propagation One-way propagation delay.
+     */
+    Link(sim::Simulation &sim, std::string name, double gbps,
+         SimDuration propagation);
+
+    Link(const Link &) = delete;
+    Link &operator=(const Link &) = delete;
+
+    /**
+     * Send @p packet; @p onDelivered fires when it reaches the far end.
+     */
+    void send(const Packet &packet, DeliveryFn onDelivered);
+
+    /** Total bytes accepted so far. */
+    std::uint64_t bytesSent() const { return totalBytes; }
+
+    /** Total packets accepted so far. */
+    std::uint64_t packetsSent() const { return totalPackets; }
+
+    /** Fraction of elapsed time the transmitter has been busy. */
+    double utilization() const;
+
+    const std::string &name() const { return linkName; }
+
+  private:
+    /** Serialization time for @p bytes at this link's bandwidth. */
+    SimDuration transmitTime(std::uint32_t bytes) const;
+
+    sim::Simulation &sim;
+    std::string linkName;
+    double bytesPerNs;
+    SimDuration propagation;
+    SimTime transmitterFreeAt = 0;
+    SimDuration busyTime = 0;
+    std::uint64_t totalBytes = 0;
+    std::uint64_t totalPackets = 0;
+};
+
+} // namespace net
+} // namespace treadmill
+
+#endif // TREADMILL_NET_LINK_H_

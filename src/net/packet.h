@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Network packet representation.
+ *
+ * Each request and each response travels as one packet. Packets carry a
+ * sequence id so the tcpdump-equivalent capture (capture.h) can match a
+ * response to its request exactly the way the paper matches TCP sequence
+ * ids on the NIC.
+ */
+
+#ifndef TREADMILL_NET_PACKET_H_
+#define TREADMILL_NET_PACKET_H_
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace treadmill {
+namespace net {
+
+/** Direction of a packet relative to the server under test. */
+enum class PacketKind { Request, Response };
+
+/** One packet on the wire. */
+struct Packet {
+    std::uint64_t seqId = 0;        ///< Matches request to response.
+    std::uint64_t connectionId = 0; ///< Flow identity (drives RSS hash).
+    std::uint32_t bytes = 0;        ///< Wire size incl. headers.
+    PacketKind kind = PacketKind::Request;
+};
+
+} // namespace net
+} // namespace treadmill
+
+#endif // TREADMILL_NET_PACKET_H_

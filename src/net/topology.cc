@@ -1,0 +1,96 @@
+#include "net/topology.h"
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace net {
+
+void
+Path::addLink(Link *link)
+{
+    TM_ASSERT(link != nullptr, "null link in path");
+    links.push_back(link);
+}
+
+void
+Path::send(sim::Simulation &sim, const Packet &packet,
+           DeliveryFn onDelivered) const
+{
+    TM_ASSERT(!links.empty(), "sending on an empty path");
+    sendHop(sim, packet, 0, std::move(onDelivered));
+}
+
+void
+Path::sendHop(sim::Simulation &sim, const Packet &packet, std::size_t hop,
+              DeliveryFn onDelivered) const
+{
+    links[hop]->send(
+        packet,
+        [this, &sim, hop, cb = std::move(onDelivered)](const Packet &p) {
+            if (hop + 1 == links.size()) {
+                cb(p);
+                return;
+            }
+            // Switch forwarding latency between consecutive links.
+            sim.schedule(kSwitchHopLatency, [this, &sim, p, hop, cb] {
+                sendHop(sim, p, hop + 1, cb);
+            });
+        });
+}
+
+Cluster::Cluster(sim::Simulation &sim, double serverLinkGbps,
+                 const std::vector<ClientSpec> &clients)
+{
+    if (clients.empty())
+        throw ConfigError("cluster needs at least one client");
+
+    serverIn = std::make_unique<Link>(sim, "server-ingress",
+                                      serverLinkGbps, microseconds(1));
+    serverOut = std::make_unique<Link>(sim, "server-egress",
+                                       serverLinkGbps, microseconds(1));
+
+    toServer.resize(clients.size());
+    toClient.resize(clients.size());
+    remote.resize(clients.size());
+
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        const ClientSpec &spec = clients[i];
+        remote[i] = spec.remoteRack;
+        const SimDuration extra =
+            spec.remoteRack ? kCrossRackExtraPropagation : SimDuration{0};
+
+        auto up = std::make_unique<Link>(
+            sim, strprintf("client%zu-uplink", i), spec.uplinkGbps,
+            microseconds(1) + extra);
+        auto down = std::make_unique<Link>(
+            sim, strprintf("client%zu-downlink", i), spec.downlinkGbps,
+            microseconds(1) + extra);
+
+        toServer[i].addLink(up.get());
+        toServer[i].addLink(serverIn.get());
+        toClient[i].addLink(serverOut.get());
+        toClient[i].addLink(down.get());
+
+        ownedLinks.push_back(std::move(up));
+        ownedLinks.push_back(std::move(down));
+    }
+}
+
+const Path &
+Cluster::clientToServer(std::size_t i) const
+{
+    TM_ASSERT(i < toServer.size(), "client index out of range");
+    return toServer[i];
+}
+
+const Path &
+Cluster::serverToClient(std::size_t i) const
+{
+    TM_ASSERT(i < toClient.size(), "client index out of range");
+    return toClient[i];
+}
+
+} // namespace net
+} // namespace treadmill

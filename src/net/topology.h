@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cluster topology: racks, switch hops, and client-to-server paths.
+ *
+ * The paper's Fig 2 shows a client on a different rack dominating the
+ * tail of a naively merged latency distribution; Path distinguishes
+ * same-rack (one ToR switch) from cross-rack (ToR - aggregation - ToR)
+ * routes so that experiment reproduces.
+ */
+
+#ifndef TREADMILL_NET_TOPOLOGY_H_
+#define TREADMILL_NET_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulation.h"
+#include "util/types.h"
+
+namespace treadmill {
+namespace net {
+
+/** Per-hop forwarding latency of a switch. */
+constexpr SimDuration kSwitchHopLatency = nanoseconds(450);
+
+/** Extra one-way latency for leaving the rack: the aggregation-layer
+ *  hops plus their queueing, which the paper's Fig 2 client suffered. */
+constexpr SimDuration kCrossRackExtraPropagation = microseconds(40);
+
+/**
+ * An ordered sequence of links a packet traverses in one direction.
+ * Each hop adds switch forwarding latency; each link adds serialization,
+ * queueing, and propagation.
+ */
+class Path
+{
+  public:
+    Path() = default;
+
+    /** Append a link to the path. */
+    void addLink(Link *link);
+
+    /** Number of hops. */
+    std::size_t hopCount() const { return links.size(); }
+
+    /**
+     * Send @p packet down the path; @p onDelivered fires at the far end.
+     */
+    void send(sim::Simulation &sim, const Packet &packet,
+              DeliveryFn onDelivered) const;
+
+  private:
+    /** Transmit on hop @p hop, then recurse across switch latency. */
+    void sendHop(sim::Simulation &sim, const Packet &packet,
+                 std::size_t hop, DeliveryFn onDelivered) const;
+
+    std::vector<Link *> links;
+};
+
+/**
+ * A two-rack cluster: the server and its clients, some of which may be
+ * placed on a remote rack. Owns every link and hands out forward and
+ * reverse paths per client.
+ */
+class Cluster
+{
+  public:
+    /** Per-client placement and link parameters. */
+    struct ClientSpec {
+        bool remoteRack = false; ///< True: client sits on the other rack.
+        double uplinkGbps = 10.0;
+        double downlinkGbps = 10.0;
+    };
+
+    /**
+     * @param sim Owning simulation.
+     * @param serverLinkGbps Bandwidth of the (shared) server access link.
+     * @param clients One spec per client machine.
+     */
+    Cluster(sim::Simulation &sim, double serverLinkGbps,
+            const std::vector<ClientSpec> &clients);
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    std::size_t clientCount() const { return toServer.size(); }
+
+    /** Path from client @p i to the server. */
+    const Path &clientToServer(std::size_t i) const;
+
+    /** Path from the server back to client @p i. */
+    const Path &serverToClient(std::size_t i) const;
+
+    /** True when client @p i was placed on the remote rack. */
+    bool isRemoteRack(std::size_t i) const { return remote[i]; }
+
+    /** The shared server ingress link (for utilization inspection). */
+    const Link &serverIngress() const { return *serverIn; }
+
+    /** The shared server egress link. */
+    const Link &serverEgress() const { return *serverOut; }
+
+  private:
+    std::vector<std::unique_ptr<Link>> ownedLinks;
+    std::unique_ptr<Link> serverIn;
+    std::unique_ptr<Link> serverOut;
+    std::vector<Path> toServer;
+    std::vector<Path> toClient;
+    std::vector<bool> remote;
+};
+
+} // namespace net
+} // namespace treadmill
+
+#endif // TREADMILL_NET_TOPOLOGY_H_

@@ -1,0 +1,94 @@
+#include "regress/design.h"
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/random_variates.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace regress {
+
+FactorialDesign::FactorialDesign(std::vector<std::string> factorNames)
+    : names(std::move(factorNames))
+{
+    if (names.empty())
+        throw ConfigError("factorial design needs at least one factor");
+    if (names.size() > 16)
+        throw ConfigError("factorial design limited to 16 factors");
+}
+
+std::string
+FactorialDesign::termName(std::size_t t) const
+{
+    TM_ASSERT(t < termCount(), "term index out of range");
+    if (t == 0)
+        return "(Intercept)";
+    std::vector<std::string> parts;
+    for (std::size_t f = 0; f < names.size(); ++f) {
+        if (t & (std::size_t{1} << f))
+            parts.push_back(names[f]);
+    }
+    return join(parts, ":");
+}
+
+std::vector<std::string>
+FactorialDesign::termNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(termCount());
+    for (std::size_t t = 0; t < termCount(); ++t)
+        out.push_back(termName(t));
+    return out;
+}
+
+Vec
+FactorialDesign::designRow(const std::vector<double> &levels) const
+{
+    if (levels.size() != names.size())
+        throw NumericalError("level vector size mismatch");
+    Vec row(termCount(), 1.0);
+    for (std::size_t t = 1; t < termCount(); ++t) {
+        double value = 1.0;
+        for (std::size_t f = 0; f < names.size(); ++f) {
+            if (t & (std::size_t{1} << f))
+                value *= levels[f];
+        }
+        row[t] = value;
+    }
+    return row;
+}
+
+Matrix
+FactorialDesign::designMatrix(
+    const std::vector<std::vector<double>> &observations) const
+{
+    if (observations.empty())
+        throw NumericalError("design matrix needs observations");
+    Matrix x(observations.size(), termCount());
+    for (std::size_t r = 0; r < observations.size(); ++r) {
+        const Vec row = designRow(observations[r]);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            x.at(r, c) = row[c];
+    }
+    return x;
+}
+
+Matrix
+FactorialDesign::perturb(const Matrix &x, double sd, Rng &rng)
+{
+    if (!(sd >= 0.0))
+        throw ConfigError("perturbation sd must be non-negative");
+    Matrix out = x;
+    if (sd == 0.0)
+        return out;
+    Normal noise(0.0, sd);
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        // Column 0 is the intercept; leave it exact.
+        for (std::size_t c = 1; c < out.cols(); ++c)
+            out.at(r, c) += noise.sample(rng);
+    }
+    return out;
+}
+
+} // namespace regress
+} // namespace treadmill

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * 2-level full-factorial experiment design with interactions.
+ *
+ * Builds the model of the paper's Equation 1: an intercept, every
+ * factor in isolation, and the products of every factor subset
+ * ("numa:turbo", ..., "numa:turbo:dvfs:nic"). Also implements the
+ * paper's pre-fit data treatment: the symmetric 0.01-sd perturbation
+ * of the dummy variables that keeps the numerical optimizer out of
+ * degenerate corners (S V-A).
+ */
+
+#ifndef TREADMILL_REGRESS_DESIGN_H_
+#define TREADMILL_REGRESS_DESIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "regress/matrix.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace regress {
+
+/** The term structure of a 2^k factorial model with interactions. */
+class FactorialDesign
+{
+  public:
+    /**
+     * @param factorNames One name per factor, in canonical order.
+     * @throws ConfigError when empty or absurdly large (> 16 factors).
+     */
+    explicit FactorialDesign(std::vector<std::string> factorNames);
+
+    /** Number of base factors k. */
+    std::size_t factorCount() const { return names.size(); }
+
+    /** Number of model terms: 2^k (intercept + all subsets). */
+    std::size_t termCount() const { return std::size_t{1} << names.size(); }
+
+    /**
+     * Name of term @p t: "(Intercept)" for t = 0, otherwise factor
+     * names joined by ':' ("numa:dvfs").
+     */
+    std::string termName(std::size_t t) const;
+
+    /** All term names in canonical order. */
+    std::vector<std::string> termNames() const;
+
+    /**
+     * Design-matrix row for one observation's factor levels:
+     * row[t] = product of levels of the factors in term t.
+     */
+    Vec designRow(const std::vector<double> &levels) const;
+
+    /**
+     * Full design matrix for a set of observations.
+     *
+     * @param observations One level vector per experiment.
+     */
+    Matrix designMatrix(
+        const std::vector<std::vector<double>> &observations) const;
+
+    /**
+     * The paper's symmetric perturbation: add N(0, sd) noise to every
+     * non-intercept entry of the design matrix.
+     */
+    static Matrix perturb(const Matrix &x, double sd, Rng &rng);
+
+  private:
+    std::vector<std::string> names;
+};
+
+} // namespace regress
+} // namespace treadmill
+
+#endif // TREADMILL_REGRESS_DESIGN_H_

@@ -1,0 +1,73 @@
+#include "regress/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/hypothesis.h"
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace treadmill {
+namespace regress {
+
+QuantRegInference
+bootstrapQuantReg(const Matrix &x, const Vec &y, double tau,
+                  std::size_t replicates, Rng &rng, double confidence,
+                  const QuantRegOptions &options)
+{
+    if (replicates < 2)
+        throw ConfigError("bootstrap needs at least 2 replicates");
+
+    QuantRegInference result;
+    result.fit = fitQuantile(x, y, tau, options);
+    result.bootstrapReplicates = replicates;
+
+    const std::size_t p = x.cols();
+    const std::size_t n = x.rows();
+
+    // Collect coefficient replicates; skip the rare resample whose
+    // design is degenerate (all rows from one factor cell).
+    std::vector<Vec> replicateCoeffs(p);
+    std::vector<std::size_t> indices(n);
+    for (std::size_t b = 0; b < replicates; ++b) {
+        for (auto &idx : indices)
+            idx = static_cast<std::size_t>(rng.nextBelow(n));
+        Vec yb(n);
+        for (std::size_t i = 0; i < n; ++i)
+            yb[i] = y[indices[i]];
+        try {
+            const Matrix xb = x.selectRows(indices);
+            const QuantRegResult fit =
+                fitQuantile(xb, yb, tau, options);
+            for (std::size_t j = 0; j < p; ++j)
+                replicateCoeffs[j].push_back(fit.coefficients[j]);
+        } catch (const NumericalError &) {
+            continue;
+        }
+    }
+    if (replicateCoeffs[0].size() < 2)
+        throw NumericalError(
+            "bootstrap produced too few successful refits");
+
+    const double alpha = 1.0 - confidence;
+    result.coefficients.resize(p);
+    for (std::size_t j = 0; j < p; ++j) {
+        CoefficientInference &ci = result.coefficients[j];
+        ci.estimate = result.fit.coefficients[j];
+        ci.standardError = stats::stddev(replicateCoeffs[j]);
+        std::sort(replicateCoeffs[j].begin(), replicateCoeffs[j].end());
+        ci.ciLow = stats::quantileSorted(replicateCoeffs[j], alpha / 2);
+        ci.ciHigh =
+            stats::quantileSorted(replicateCoeffs[j], 1.0 - alpha / 2);
+        if (ci.standardError > 0.0) {
+            ci.pValue = stats::twoSidedPValue(ci.estimate /
+                                              ci.standardError);
+        } else {
+            ci.pValue = ci.estimate == 0.0 ? 1.0 : 0.0;
+        }
+    }
+    return result;
+}
+
+} // namespace regress
+} // namespace treadmill

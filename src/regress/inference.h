@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bootstrap inference for quantile-regression coefficients.
+ *
+ * Quantile regression has no closed-form covariance free of density
+ * assumptions, so Treadmill reports Table IV's Std. Err and p-value
+ * columns from a nonparametric bootstrap over experiments: resample
+ * rows with replacement, refit, and read the spread of each
+ * coefficient across replicates. p-values use the normal
+ * approximation z = estimate / SE.
+ */
+
+#ifndef TREADMILL_REGRESS_INFERENCE_H_
+#define TREADMILL_REGRESS_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "regress/matrix.h"
+#include "regress/quantreg.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace regress {
+
+/** Point estimate with bootstrap uncertainty for one coefficient. */
+struct CoefficientInference {
+    double estimate = 0.0;
+    double standardError = 0.0;
+    double pValue = 1.0;
+    double ciLow = 0.0;  ///< Percentile CI at the given confidence.
+    double ciHigh = 0.0;
+};
+
+/** Inference for every coefficient of one quantile fit. */
+struct QuantRegInference {
+    QuantRegResult fit; ///< Fit on the full data.
+    std::vector<CoefficientInference> coefficients;
+    std::size_t bootstrapReplicates = 0;
+};
+
+/**
+ * Fit the tau-quantile and bootstrap its coefficient uncertainty.
+ *
+ * @param x Design matrix.
+ * @param y Responses.
+ * @param tau Quantile order.
+ * @param replicates Bootstrap resamples (>= 2).
+ * @param rng Randomness for resampling.
+ * @param confidence Two-sided CI level.
+ * @param options Inner solver controls.
+ */
+QuantRegInference
+bootstrapQuantReg(const Matrix &x, const Vec &y, double tau,
+                  std::size_t replicates, Rng &rng,
+                  double confidence = 0.95,
+                  const QuantRegOptions &options = {});
+
+} // namespace regress
+} // namespace treadmill
+
+#endif // TREADMILL_REGRESS_INFERENCE_H_

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ordinary least squares and classical inference.
+ *
+ * OLS is the engine inside the quantile-regression IRLS loop and the
+ * ANOVA-style baseline the paper contrasts with quantile regression
+ * (S IV-A): it attributes variance of the *mean*, assumes normal
+ * residuals, and is shown to be the wrong tool for tails.
+ */
+
+#ifndef TREADMILL_REGRESS_OLS_H_
+#define TREADMILL_REGRESS_OLS_H_
+
+#include <vector>
+
+#include "regress/matrix.h"
+
+namespace treadmill {
+namespace regress {
+
+/** Result of a least-squares fit. */
+struct OlsResult {
+    Vec coefficients;
+    Vec residuals;
+    Vec standardErrors; ///< Classical (X^T X)^-1 sigma^2 errors.
+    Vec tStatistics;
+    Vec pValues;        ///< Two-sided, normal approximation.
+    double sigma2 = 0.0; ///< Residual variance estimate.
+    double rSquared = 0.0;
+    double totalSumSquares = 0.0;
+    double residualSumSquares = 0.0;
+};
+
+/**
+ * Fit y = X beta + e by least squares.
+ *
+ * @param x Design matrix (rows = observations).
+ * @param y Response (size = rows).
+ * @param ridge Small diagonal regularizer for near-singular designs.
+ * @throws NumericalError on shape mismatch or singular design.
+ */
+OlsResult fitOls(const Matrix &x, const Vec &y, double ridge = 0.0);
+
+/**
+ * Weighted least squares: minimize sum w_i (y_i - x_i beta)^2 with an
+ * extra linear term c^T beta (used by the quantile-regression MM
+ * iteration). Returns only the coefficient vector.
+ *
+ * Solves (X^T W X) beta = X^T W y + c.
+ */
+Vec solveWeightedLs(const Matrix &x, const Vec &y, const Vec &weights,
+                    const Vec &linearTerm, double ridge = 0.0);
+
+/** Per-term ANOVA-style variance attribution from an OLS fit: the
+ *  incremental sum of squares explained by each column, in order. */
+Vec sequentialSumOfSquares(const Matrix &x, const Vec &y);
+
+} // namespace regress
+} // namespace treadmill
+
+#endif // TREADMILL_REGRESS_OLS_H_

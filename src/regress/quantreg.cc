@@ -1,0 +1,99 @@
+#include "regress/quantreg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "regress/ols.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace treadmill {
+namespace regress {
+
+double
+pinballLoss(double tau, double err)
+{
+    return err >= 0.0 ? tau * err : (tau - 1.0) * err;
+}
+
+double
+totalPinballLoss(const Matrix &x, const Vec &y, const Vec &beta,
+                 double tau)
+{
+    const Vec predicted = x.multiply(beta);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        loss += pinballLoss(tau, y[i] - predicted[i]);
+    return loss;
+}
+
+double
+QuantRegResult::predict(const Vec &xRow) const
+{
+    return dot(xRow, coefficients);
+}
+
+QuantRegResult
+fitQuantile(const Matrix &x, const Vec &y, double tau,
+            const QuantRegOptions &options)
+{
+    if (y.size() != x.rows())
+        throw NumericalError("quantile regression shape mismatch");
+    if (!(tau > 0.0 && tau < 1.0))
+        throw NumericalError("tau must lie strictly in (0, 1)");
+    if (x.rows() < x.cols())
+        throw NumericalError(
+            "quantile regression needs rows >= columns");
+
+    QuantRegResult result;
+    result.tau = tau;
+
+    // Start from the least-squares solution.
+    result.coefficients = fitOls(x, y, options.ridge).coefficients;
+    double loss = totalPinballLoss(x, y, result.coefficients, tau);
+
+    // Hunter-Lange MM with annealed smoothing: the surrogate for
+    // rho_tau(r) at r0 is  r^2 / (4 max(|r0|, eps)) + (tau - 1/2) r
+    // (+ const), whose minimizer solves a weighted least-squares
+    // system with linear term (tau - 1/2) X^T 1.
+    double epsilon = options.epsilonStart;
+    Vec weights(y.size());
+    Vec ones(y.size(), 1.0);
+    Vec linear = x.transposeMultiply(ones);
+    for (double &v : linear)
+        v *= (tau - 0.5);
+
+    for (std::uint64_t it = 0; it < options.maxIterations; ++it) {
+        const Vec predicted = x.multiply(result.coefficients);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            const double r = std::fabs(y[i] - predicted[i]);
+            weights[i] = 0.5 / std::max(r, epsilon);
+        }
+
+        const Vec next =
+            solveWeightedLs(x, y, weights, linear, options.ridge);
+        const double nextLoss = totalPinballLoss(x, y, next, tau);
+        ++result.iterations;
+
+        const double improvement =
+            loss > 0.0 ? (loss - nextLoss) / loss : 0.0;
+        if (nextLoss <= loss) {
+            result.coefficients = next;
+            loss = nextLoss;
+        }
+
+        if (improvement < options.tolerance) {
+            if (epsilon <= options.epsilonFloor) {
+                result.converged = true;
+                break;
+            }
+            epsilon = std::max(options.epsilonFloor, epsilon * 0.1);
+        }
+    }
+
+    result.loss = loss;
+    return result;
+}
+
+} // namespace regress
+} // namespace treadmill

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quantile regression (Koenker) via the Hunter-Lange MM algorithm.
+ *
+ * Estimates the coefficients c(tau) of Equation 1 in the paper:
+ * minimizing the pinball (check) loss, which weights underestimation
+ * by tau and overestimation by (1 - tau). No distributional assumption
+ * is made about the residuals -- the property that makes quantile
+ * regression the right tool for tail-latency attribution where ANOVA
+ * is not.
+ */
+
+#ifndef TREADMILL_REGRESS_QUANTREG_H_
+#define TREADMILL_REGRESS_QUANTREG_H_
+
+#include <cstdint>
+
+#include "regress/matrix.h"
+
+namespace treadmill {
+namespace regress {
+
+/** Pinball (check) loss of residual @p err at quantile @p tau. */
+double pinballLoss(double tau, double err);
+
+/** Total pinball loss of predictions X beta against y. */
+double totalPinballLoss(const Matrix &x, const Vec &y, const Vec &beta,
+                        double tau);
+
+/** Solver controls. */
+struct QuantRegOptions {
+    std::uint64_t maxIterations = 200;
+    /** Stop when the relative loss improvement falls below this. */
+    double tolerance = 1e-8;
+    /** Initial smoothing epsilon (shrinks geometrically). */
+    double epsilonStart = 1.0;
+    double epsilonFloor = 1e-9;
+    /** Ridge applied to the weighted normal equations. */
+    double ridge = 1e-8;
+};
+
+/** Fit outcome. */
+struct QuantRegResult {
+    double tau = 0.5;
+    Vec coefficients;
+    double loss = 0.0; ///< Total pinball loss at the solution.
+    std::uint64_t iterations = 0;
+    bool converged = false;
+
+    /** Predicted tau-quantile for covariate row @p xRow. */
+    double predict(const Vec &xRow) const;
+};
+
+/**
+ * Fit the tau-th conditional quantile of y given X.
+ *
+ * Hunter-Lange MM: each iteration solves a weighted least-squares
+ * surrogate that majorizes the (epsilon-smoothed) pinball loss;
+ * epsilon anneals toward zero so the solution approaches the exact
+ * check-loss minimizer.
+ *
+ * @throws NumericalError on shape mismatch or degenerate design.
+ */
+QuantRegResult fitQuantile(const Matrix &x, const Vec &y, double tau,
+                           const QuantRegOptions &options = {});
+
+} // namespace regress
+} // namespace treadmill
+
+#endif // TREADMILL_REGRESS_QUANTREG_H_

@@ -1,0 +1,70 @@
+#include "server/kvstore.h"
+
+#include <utility>
+
+namespace treadmill {
+namespace server {
+
+KvStore::KvStore(std::uint64_t capacityBytes) : capacity(capacityBytes) {}
+
+void
+KvStore::set(const std::string &key, std::string value)
+{
+    ++setCount;
+    const auto it = table.find(key);
+    if (it != table.end()) {
+        storedBytes -= it->second->value.size();
+        storedBytes += value.size();
+        it->second->value = std::move(value);
+        lru.splice(lru.begin(), lru, it->second);
+    } else {
+        storedBytes += value.size();
+        lru.push_front(Entry{key, std::move(value)});
+        table[key] = lru.begin();
+    }
+    enforceCapacity();
+}
+
+bool
+KvStore::get(const std::string &key, std::string *value)
+{
+    const auto it = table.find(key);
+    if (it == table.end()) {
+        ++missCount;
+        return false;
+    }
+    ++hitCount;
+    lru.splice(lru.begin(), lru, it->second);
+    if (value != nullptr)
+        *value = it->second->value;
+    return true;
+}
+
+bool
+KvStore::erase(const std::string &key)
+{
+    const auto it = table.find(key);
+    if (it == table.end())
+        return false;
+    storedBytes -= it->second->value.size();
+    lru.erase(it->second);
+    table.erase(it);
+    return true;
+}
+
+void
+KvStore::enforceCapacity()
+{
+    if (capacity == 0)
+        return;
+    while (storedBytes > capacity && !lru.empty()) {
+        const Entry &victim = lru.back();
+        storedBytes -= victim.value.size();
+        table.erase(victim.key);
+        lru.pop_back();
+        ++evictionCount;
+    }
+}
+
+} // namespace server
+} // namespace treadmill

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * An in-memory key-value store with LRU eviction.
+ *
+ * The Memcached model stores and serves real data: GETs return the
+ * bytes a previous SET stored, misses are real misses, and memory
+ * pressure evicts least-recently-used entries -- so workload configs
+ * (key popularity, value sizes, GET/SET mix) behave as they would
+ * against memcached itself.
+ */
+
+#ifndef TREADMILL_SERVER_KVSTORE_H_
+#define TREADMILL_SERVER_KVSTORE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace treadmill {
+namespace server {
+
+/** Hash-table KV store with size-bounded LRU eviction. */
+class KvStore
+{
+  public:
+    /**
+     * @param capacityBytes Eviction threshold on stored value bytes
+     *        (0 means unbounded).
+     */
+    explicit KvStore(std::uint64_t capacityBytes = 0);
+
+    KvStore(const KvStore &) = delete;
+    KvStore &operator=(const KvStore &) = delete;
+
+    /**
+     * Store @p value under @p key, updating LRU order and evicting if
+     * over capacity.
+     */
+    void set(const std::string &key, std::string value);
+
+    /**
+     * Look up @p key.
+     *
+     * @param value Receives the stored bytes on a hit.
+     * @return true on hit.
+     */
+    bool get(const std::string &key, std::string *value);
+
+    /** Remove @p key if present; returns true when something was
+     *  deleted. */
+    bool erase(const std::string &key);
+
+    /** Number of live entries. */
+    std::size_t size() const { return table.size(); }
+
+    /** Bytes of stored values. */
+    std::uint64_t bytesStored() const { return storedBytes; }
+
+    /** @name Operation counters
+     * @{
+     */
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+    std::uint64_t sets() const { return setCount; }
+    std::uint64_t evictions() const { return evictionCount; }
+    /** @} */
+
+  private:
+    struct Entry {
+        std::string key;
+        std::string value;
+    };
+    using LruList = std::list<Entry>;
+
+    /** Evict LRU entries until under capacity. */
+    void enforceCapacity();
+
+    std::uint64_t capacity;
+    LruList lru; ///< Front = most recently used.
+    std::unordered_map<std::string, LruList::iterator> table;
+    std::uint64_t storedBytes = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t setCount = 0;
+    std::uint64_t evictionCount = 0;
+};
+
+} // namespace server
+} // namespace treadmill
+
+#endif // TREADMILL_SERVER_KVSTORE_H_

@@ -1,0 +1,111 @@
+#include "server/memcached.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace treadmill {
+namespace server {
+
+MemcachedServer::MemcachedServer(hw::Machine &machine_,
+                                 const MemcachedParams &params_,
+                                 std::uint64_t seed)
+    : machine(machine_), params(params_), kv(params_.storeCapacityBytes),
+      rng(Rng(0x6d656d63616368ull).substream(seed)),
+      jitter(-0.5 * params_.workJitterSigma * params_.workJitterSigma,
+             params_.workJitterSigma)
+{
+}
+
+void
+MemcachedServer::receive(RequestPtr request, RespondFn respond)
+{
+    TM_ASSERT(request->nicArrival != kNoTime,
+              "request must be stamped with nicArrival");
+
+    const unsigned irqCore =
+        machine.nic().irqCore(request->connectionId);
+    const unsigned workerIdx =
+        machine.workerOfConnection(request->connectionId);
+    const unsigned workerCoreId = machine.workerCore(workerIdx);
+    const bool crossSocket =
+        machine.spec().socketOf(irqCore) !=
+        machine.spec().socketOf(workerCoreId);
+
+    // Stage 1: interrupt handling on the RSS-steered core.
+    hw::WorkItem irq;
+    irq.cycles = machine.spec().irqCycles;
+    irq.fixedStall = 0;
+    irq.allowTurbo = true;
+    irq.done = [this, request = std::move(request),
+                respond = std::move(respond), crossSocket](
+                   SimTime, SimTime) mutable {
+        executeOnWorker(std::move(request), std::move(respond),
+                        crossSocket);
+    };
+    machine.submit(irqCore, std::move(irq));
+}
+
+void
+MemcachedServer::executeOnWorker(RequestPtr request, RespondFn respond,
+                                 bool crossSocket)
+{
+    const unsigned workerIdx =
+        machine.workerOfConnection(request->connectionId);
+    const unsigned coreId = machine.workerCore(workerIdx);
+
+    double cycles = request->op == OpType::Get ? params.getCycles
+                                               : params.setCycles;
+    cycles += params.cyclesPerValueByte *
+              static_cast<double>(request->valueBytes);
+    cycles *= jitter.sample(rng);
+    if (params.slowFraction > 0.0 &&
+        rng.nextDouble() < params.slowFraction) {
+        cycles *= params.slowMultiplier;
+    }
+
+    hw::WorkItem work;
+    work.cycles = cycles;
+    work.fixedStall = machine.memoryStall(request->connectionId);
+    if (crossSocket)
+        work.fixedStall += machine.spec().crossSocketTransfer;
+    work.allowTurbo = true;
+    work.done = [this, request = std::move(request),
+                 respond = std::move(respond)](SimTime start,
+                                               SimTime end) mutable {
+        request->workerStart = start;
+        request->workerEnd = end;
+
+        // Perform the real hash-table operation.
+        if (request->op == OpType::Set) {
+            kv.set(request->key,
+                   std::string(request->valueBytes, 'v'));
+            request->hit = true;
+            request->responseBytes = 48; // STORED + headers
+        } else {
+            std::string value;
+            request->hit = kv.get(request->key, &value);
+            request->responseBytes =
+                48 + static_cast<std::uint32_t>(value.size());
+        }
+
+        ++servedCount;
+        request->nicDeparture = end;
+        respond(request);
+    };
+    machine.submit(coreId, std::move(work));
+}
+
+double
+MemcachedServer::expectedServiceSeconds(double meanValueBytes) const
+{
+    double cycles =
+        params.getCycles + params.cyclesPerValueByte * meanValueBytes;
+    // The slow-request mechanism inflates the mean multiplicatively.
+    cycles *= 1.0 + params.slowFraction * (params.slowMultiplier - 1.0);
+    return machine.expectedServiceSeconds(cycles);
+}
+
+} // namespace server
+} // namespace treadmill

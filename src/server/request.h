@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Request/response representation shared by clients and servers.
+ *
+ * A Request carries its own timeline: every component that touches it
+ * stamps the simulated clock, so any latency decomposition the paper
+ * performs (client-side, network, server residence, Fig 3) falls out
+ * of simple timestamp differences.
+ */
+
+#ifndef TREADMILL_SERVER_REQUEST_H_
+#define TREADMILL_SERVER_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/types.h"
+
+namespace treadmill {
+namespace server {
+
+/** Memcached-protocol operation type. */
+enum class OpType { Get, Set };
+
+/** One in-flight request and its accumulated timeline. */
+struct Request {
+    std::uint64_t seqId = 0;
+    std::uint64_t connectionId = 0;
+    std::uint64_t clientIndex = 0; ///< Which load-tester instance sent it.
+
+    OpType op = OpType::Get;
+    std::string key;
+    std::uint32_t valueBytes = 0;   ///< SET payload size.
+    std::uint32_t requestBytes = 0; ///< Wire size of the request packet.
+    std::uint32_t responseBytes = 0; ///< Wire size of the response.
+    bool hit = false;               ///< GET outcome.
+
+    /** @name Timeline (kNoTime until stamped)
+     * @{
+     */
+    SimTime intendedSend = kNoTime; ///< Open-loop schedule instant.
+    SimTime clientSend = kNoTime;   ///< Actually left the client.
+    SimTime nicArrival = kNoTime;   ///< Reached the server NIC.
+    SimTime workerStart = kNoTime;  ///< Began worker processing.
+    SimTime workerEnd = kNoTime;    ///< Finished worker processing.
+    SimTime nicDeparture = kNoTime; ///< Response left the server NIC.
+    SimTime clientNicArrival = kNoTime; ///< Response hit the client NIC.
+    SimTime clientReceive = kNoTime; ///< Response callback ran.
+    /** @} */
+
+    /** End-to-end latency as the load tester perceives it, in us. */
+    double
+    clientLatencyUs() const
+    {
+        return toMicros(clientReceive - intendedSend);
+    }
+
+    /** Server residence (NIC in to NIC out), in us. */
+    double
+    serverLatencyUs() const
+    {
+        return toMicros(nicDeparture - nicArrival);
+    }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+/** Callback delivering a completed response. */
+using RespondFn = std::function<void(const RequestPtr &)>;
+
+/**
+ * Anything that accepts requests at its NIC and eventually responds.
+ */
+class Service
+{
+  public:
+    virtual ~Service() = default;
+
+    /**
+     * Deliver @p request, already stamped with nicArrival. The service
+     * invokes @p respond once the response is ready to leave its NIC
+     * (nicDeparture stamped).
+     */
+    virtual void receive(RequestPtr request, RespondFn respond) = 0;
+};
+
+} // namespace server
+} // namespace treadmill
+
+#endif // TREADMILL_SERVER_REQUEST_H_

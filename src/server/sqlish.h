@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A MySQL-like long-service workload model.
+ *
+ * The paper's S II-C notes that "for workloads with long service time
+ * (e.g., complex MySQL queries), clients do not have to issue many
+ * requests to saturate the server" -- i.e., the client-side queueing
+ * pitfall is specific to microsecond-scale services. This model (a
+ * query service with millisecond, heavy-tailed service times) exists
+ * to demonstrate that boundary, and doubles as the repository's
+ * demonstration of the Treadmill generality claim: integrating a new
+ * service is this one small file.
+ */
+
+#ifndef TREADMILL_SERVER_SQLISH_H_
+#define TREADMILL_SERVER_SQLISH_H_
+
+#include <cstdint>
+
+#include "hw/machine.h"
+#include "server/request.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace server {
+
+/** Service-cost parameters of the query-server model. */
+struct SqlishParams {
+    /** Mean CPU cycles per query (milliseconds of work at nominal). */
+    double queryCycles = 2.2e6;
+    /** Lognormal sigma: query plans vary wildly. */
+    double workJitterSigma = 0.9;
+    /** Buffer-pool miss probability: adds an I/O-like stall. */
+    double ioMissProbability = 0.08;
+    double ioStallUs = 900.0;
+};
+
+/** Simulated long-service query server bound to a Machine. */
+class SqlishServer : public Service
+{
+  public:
+    SqlishServer(hw::Machine &machine, const SqlishParams &params,
+                 std::uint64_t seed);
+
+    void receive(RequestPtr request, RespondFn respond) override;
+
+    /** Queries completed so far. */
+    std::uint64_t served() const { return servedCount; }
+
+    /** Expected CPU seconds per query at the nominal frequency. */
+    double expectedServiceSeconds() const;
+
+  private:
+    hw::Machine &machine;
+    SqlishParams params;
+    Rng rng;
+    LogNormal jitter;
+    Bernoulli ioMiss;
+    std::uint64_t servedCount = 0;
+};
+
+} // namespace server
+} // namespace treadmill
+
+#endif // TREADMILL_SERVER_SQLISH_H_

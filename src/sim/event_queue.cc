@@ -1,0 +1,78 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace treadmill {
+namespace sim {
+
+EventId
+EventQueue::push(SimTime when, EventFn fn)
+{
+    const EventId id = nextId++;
+    heap.push_back(Entry{when, nextSeq++, id, std::move(fn)});
+    std::push_heap(heap.begin(), heap.end(), Later{});
+    ++liveCount;
+    return id;
+}
+
+void
+EventQueue::dropDeadTop()
+{
+    while (!heap.empty() && cancelledIds.count(heap.front().id) > 0) {
+        cancelledIds.erase(heap.front().id);
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        heap.pop_back();
+    }
+}
+
+SimTime
+EventQueue::nextTime()
+{
+    dropDeadTop();
+    TM_ASSERT(!heap.empty(), "nextTime() on an empty event queue");
+    return heap.front().when;
+}
+
+EventFn
+EventQueue::pop(SimTime &when)
+{
+    dropDeadTop();
+    TM_ASSERT(!heap.empty(), "pop() on an empty event queue");
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    Entry top = std::move(heap.back());
+    heap.pop_back();
+    --liveCount;
+    when = top.when;
+    return std::move(top.fn);
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= nextId)
+        return false;
+    if (cancelledIds.count(id) > 0)
+        return false;
+    // Only mark ids that are actually still pending.
+    const bool pending = std::any_of(
+        heap.begin(), heap.end(),
+        [id](const Entry &e) { return e.id == id; });
+    if (!pending)
+        return false;
+    cancelledIds.insert(id);
+    --liveCount;
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    heap.clear();
+    cancelledIds.clear();
+    liveCount = 0;
+}
+
+} // namespace sim
+} // namespace treadmill

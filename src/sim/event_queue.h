@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The pending-event set for the discrete-event simulation engine.
+ */
+
+#ifndef TREADMILL_SIM_EVENT_QUEUE_H_
+#define TREADMILL_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.h"
+
+namespace treadmill {
+namespace sim {
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Identifies a scheduled event so it can be cancelled. */
+using EventId = std::uint64_t;
+
+/**
+ * A binary min-heap of timestamped events.
+ *
+ * Ties are broken by insertion sequence number, so two events scheduled
+ * for the same instant always fire in the order they were scheduled.
+ * This total order is what makes simulations reproducible. Cancellation
+ * is lazy: cancelled entries stay in the heap and are skipped at pop.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Insert an event firing at @p when; returns its id. */
+    EventId push(SimTime when, EventFn fn);
+
+    /** True when no live events remain. */
+    bool empty() const { return liveCount == 0; }
+
+    /** Number of live (non-cancelled) events. */
+    std::size_t size() const { return liveCount; }
+
+    /** Timestamp of the earliest live event. Queue must be non-empty. */
+    SimTime nextTime();
+
+    /**
+     * Remove and return the earliest live event's callback.
+     *
+     * @param when Receives the event's timestamp.
+     */
+    EventFn pop(SimTime &when);
+
+    /**
+     * Cancel a pending event.
+     *
+     * @return true if the event was pending and is now cancelled;
+     *         false if it already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Drop every pending event. */
+    void clear();
+
+  private:
+    struct Entry {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+        EventFn fn;
+    };
+
+    /** Min-heap order: earliest time first, then earliest sequence. */
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop cancelled entries off the top of the heap. */
+    void dropDeadTop();
+
+    std::vector<Entry> heap;
+    std::unordered_set<EventId> cancelledIds;
+    std::uint64_t nextSeq = 0;
+    EventId nextId = 1;
+    std::size_t liveCount = 0;
+};
+
+} // namespace sim
+} // namespace treadmill
+
+#endif // TREADMILL_SIM_EVENT_QUEUE_H_

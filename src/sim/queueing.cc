@@ -1,0 +1,102 @@
+#include "sim/queueing.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace sim {
+
+MM1::MM1(double lambda_, double mu_)
+    : lambda(lambda_), mu(mu_), rho(lambda_ / mu_)
+{
+    if (!(lambda_ > 0.0) || !(mu_ > 0.0))
+        throw ConfigError("M/M/1 rates must be positive");
+    if (!(rho < 1.0))
+        throw ConfigError("M/M/1 requires lambda < mu for stability");
+}
+
+double
+MM1::meanInSystem() const
+{
+    return rho / (1.0 - rho);
+}
+
+double
+MM1::varianceInSystem() const
+{
+    return rho / ((1.0 - rho) * (1.0 - rho));
+}
+
+double
+MM1::probInSystem(std::uint64_t n) const
+{
+    return (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+}
+
+double
+MM1::cdfInSystem(std::uint64_t n) const
+{
+    return 1.0 - std::pow(rho, static_cast<double>(n) + 1.0);
+}
+
+double
+MM1::meanResponseTime() const
+{
+    return 1.0 / (mu - lambda);
+}
+
+double
+MM1::meanWaitingTime() const
+{
+    return rho / (mu - lambda);
+}
+
+double
+MM1::responseTimeQuantile(double q) const
+{
+    if (!(q >= 0.0) || !(q < 1.0))
+        throw ConfigError("quantile must lie in [0, 1)");
+    return -std::log(1.0 - q) / (mu - lambda);
+}
+
+MMk::MMk(double lambda_, double mu_, std::uint64_t servers)
+    : lambda(lambda_), mu(mu_), k(servers),
+      rho(lambda_ / (mu_ * static_cast<double>(servers)))
+{
+    if (!(lambda_ > 0.0) || !(mu_ > 0.0) || servers == 0)
+        throw ConfigError("M/M/k rates and server count must be positive");
+    if (!(rho < 1.0))
+        throw ConfigError("M/M/k requires lambda < k*mu for stability");
+}
+
+double
+MMk::probWait() const
+{
+    // Erlang-C formula; computed with running factorial terms.
+    const double a = lambda / mu; // offered load in Erlangs
+    double term = 1.0;            // a^n / n!
+    double sum = 1.0;             // sum over n = 0..k-1
+    for (std::uint64_t n = 1; n < k; ++n) {
+        term *= a / static_cast<double>(n);
+        sum += term;
+    }
+    term *= a / static_cast<double>(k); // a^k / k!
+    const double last = term / (1.0 - rho);
+    return last / (sum + last);
+}
+
+double
+MMk::meanWaitingTime() const
+{
+    return probWait() / (static_cast<double>(k) * mu - lambda);
+}
+
+double
+MMk::meanResponseTime() const
+{
+    return meanWaitingTime() + 1.0 / mu;
+}
+
+} // namespace sim
+} // namespace treadmill

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Closed-form queueing-theory results used to validate the simulator.
+ *
+ * The paper's Finding 1 appeals to the M/M/1 number-in-system variance
+ * rho/(1-rho)^2; we implement the standard M/M/1 and M/M/k formulas so
+ * property tests can check the simulated server against theory.
+ */
+
+#ifndef TREADMILL_SIM_QUEUEING_H_
+#define TREADMILL_SIM_QUEUEING_H_
+
+#include <cstdint>
+
+namespace treadmill {
+namespace sim {
+
+/** Analytic results for the M/M/1 queue at arrival rate lambda, service
+ *  rate mu (both per second). */
+class MM1
+{
+  public:
+    MM1(double lambda, double mu);
+
+    /** Offered load rho = lambda / mu; must be < 1 for stability. */
+    double utilization() const { return rho; }
+
+    /** Mean number of requests in the system. */
+    double meanInSystem() const;
+
+    /** Variance of the number in system: rho / (1-rho)^2. */
+    double varianceInSystem() const;
+
+    /** P(N = n): geometric distribution (1-rho) rho^n. */
+    double probInSystem(std::uint64_t n) const;
+
+    /** P(N <= n). */
+    double cdfInSystem(std::uint64_t n) const;
+
+    /** Mean sojourn (response) time, seconds. */
+    double meanResponseTime() const;
+
+    /** Mean waiting (queueing-only) time, seconds. */
+    double meanWaitingTime() const;
+
+    /**
+     * The q-quantile of the sojourn-time distribution, seconds.
+     * Response time is Exp(mu - lambda), so T_q = -ln(1-q)/(mu-lambda).
+     */
+    double responseTimeQuantile(double q) const;
+
+  private:
+    double lambda;
+    double mu;
+    double rho;
+};
+
+/** Analytic results for the M/M/k queue. */
+class MMk
+{
+  public:
+    MMk(double lambda, double mu, std::uint64_t servers);
+
+    /** Per-server utilization rho = lambda / (k mu). */
+    double utilization() const { return rho; }
+
+    /** Erlang-C probability that an arrival must wait. */
+    double probWait() const;
+
+    /** Mean waiting time (excluding service), seconds. */
+    double meanWaitingTime() const;
+
+    /** Mean response time, seconds. */
+    double meanResponseTime() const;
+
+  private:
+    double lambda;
+    double mu;
+    std::uint64_t k;
+    double rho;
+};
+
+} // namespace sim
+} // namespace treadmill
+
+#endif // TREADMILL_SIM_QUEUEING_H_

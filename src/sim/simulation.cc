@@ -1,0 +1,55 @@
+#include "sim/simulation.h"
+
+#include "util/logging.h"
+
+namespace treadmill {
+namespace sim {
+
+EventId
+Simulation::schedule(SimDuration delay, EventFn fn)
+{
+    return events.push(currentTime + delay, std::move(fn));
+}
+
+EventId
+Simulation::scheduleAt(SimTime when, EventFn fn)
+{
+    TM_ASSERT(when >= currentTime, "cannot schedule an event in the past");
+    return events.push(when, std::move(fn));
+}
+
+bool
+Simulation::step()
+{
+    if (stopping || events.empty())
+        return false;
+    SimTime when = 0;
+    EventFn fn = events.pop(when);
+    TM_ASSERT(when >= currentTime, "event queue went backwards in time");
+    currentTime = when;
+    ++executed;
+    fn();
+    return true;
+}
+
+void
+Simulation::run()
+{
+    stopping = false;
+    while (step()) {
+    }
+}
+
+void
+Simulation::runUntil(SimTime deadline)
+{
+    stopping = false;
+    while (!stopping && !events.empty() && events.nextTime() < deadline) {
+        step();
+    }
+    if (!stopping && currentTime < deadline)
+        currentTime = deadline;
+}
+
+} // namespace sim
+} // namespace treadmill

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The discrete-event simulation driver.
+ *
+ * All Treadmill experiments run inside a Simulation: load-tester control
+ * loops, network links, NIC interrupt handling, and server worker threads
+ * are all expressed as events against a shared virtual clock.
+ */
+
+#ifndef TREADMILL_SIM_SIMULATION_H_
+#define TREADMILL_SIM_SIMULATION_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/types.h"
+
+namespace treadmill {
+namespace sim {
+
+/**
+ * Owns the virtual clock and the pending-event set and dispatches events
+ * in timestamp order.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current virtual time. */
+    SimTime now() const { return currentTime; }
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    EventId schedule(SimDuration delay, EventFn fn);
+
+    /** Schedule @p fn at the absolute virtual time @p when (>= now). */
+    EventId scheduleAt(SimTime when, EventFn fn);
+
+    /** Cancel a previously scheduled event. */
+    bool cancel(EventId id) { return events.cancel(id); }
+
+    /**
+     * Execute the earliest pending event.
+     *
+     * @return false when no events remain or stop() was requested.
+     */
+    bool step();
+
+    /** Run until the event set is exhausted or stop() is called. */
+    void run();
+
+    /**
+     * Run until virtual time reaches @p deadline.
+     *
+     * Events at exactly @p deadline do not fire; the clock is left at
+     * @p deadline (or at the stop/exhaustion point, whichever is first).
+     */
+    void runUntil(SimTime deadline);
+
+    /** Request that run()/runUntil() return after the current event. */
+    void stop() { stopping = true; }
+
+    /** True if stop() was called since the last run. */
+    bool stopped() const { return stopping; }
+
+    /** Number of events dispatched so far. */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return events.size(); }
+
+  private:
+    EventQueue events;
+    SimTime currentTime = 0;
+    std::uint64_t executed = 0;
+    bool stopping = false;
+};
+
+} // namespace sim
+} // namespace treadmill
+
+#endif // TREADMILL_SIM_SIMULATION_H_

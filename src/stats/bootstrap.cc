@@ -1,0 +1,79 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace treadmill {
+namespace stats {
+
+namespace {
+
+BootstrapResult
+finish(double estimate, std::vector<double> replicates, double confidence)
+{
+    BootstrapResult result;
+    result.estimate = estimate;
+    result.standardError = stddev(replicates);
+    std::vector<double> sorted = replicates;
+    std::sort(sorted.begin(), sorted.end());
+    const double alpha = 1.0 - confidence;
+    result.ciLow = quantileSorted(sorted, alpha / 2.0);
+    result.ciHigh = quantileSorted(sorted, 1.0 - alpha / 2.0);
+    result.replicates = std::move(replicates);
+    return result;
+}
+
+} // namespace
+
+BootstrapResult
+bootstrap(const std::vector<double> &sample,
+          const std::function<double(const std::vector<double> &)>
+              &statistic,
+          std::size_t replicates, Rng &rng, double confidence)
+{
+    if (sample.empty())
+        throw NumericalError("bootstrap of an empty sample");
+    if (replicates < 2)
+        throw ConfigError("bootstrap needs at least 2 replicates");
+
+    std::vector<double> reps;
+    reps.reserve(replicates);
+    std::vector<double> resample(sample.size());
+    for (std::size_t b = 0; b < replicates; ++b) {
+        for (auto &slot : resample)
+            slot = sample[rng.nextBelow(sample.size())];
+        reps.push_back(statistic(resample));
+    }
+    return finish(statistic(sample), std::move(reps), confidence);
+}
+
+BootstrapResult
+bootstrapIndexed(std::size_t sampleSize,
+                 const std::function<double(
+                     const std::vector<std::size_t> &)> &statistic,
+                 std::size_t replicates, Rng &rng, double confidence)
+{
+    if (sampleSize == 0)
+        throw NumericalError("bootstrap of an empty sample");
+    if (replicates < 2)
+        throw ConfigError("bootstrap needs at least 2 replicates");
+
+    std::vector<std::size_t> identity(sampleSize);
+    for (std::size_t i = 0; i < sampleSize; ++i)
+        identity[i] = i;
+
+    std::vector<double> reps;
+    reps.reserve(replicates);
+    std::vector<std::size_t> resample(sampleSize);
+    for (std::size_t b = 0; b < replicates; ++b) {
+        for (auto &slot : resample)
+            slot = static_cast<std::size_t>(rng.nextBelow(sampleSize));
+        reps.push_back(statistic(resample));
+    }
+    return finish(statistic(identity), std::move(reps), confidence);
+}
+
+} // namespace stats
+} // namespace treadmill

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Nonparametric bootstrap resampling.
+ *
+ * Used by the regression layer to obtain standard errors and confidence
+ * intervals for quantile-regression coefficients (the paper reports
+ * Std. Err at 95% confidence in Table IV).
+ */
+
+#ifndef TREADMILL_STATS_BOOTSTRAP_H_
+#define TREADMILL_STATS_BOOTSTRAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace treadmill {
+namespace stats {
+
+/** Result of a bootstrap run for a scalar statistic. */
+struct BootstrapResult {
+    double estimate = 0.0;    ///< Statistic on the original sample.
+    double standardError = 0.0;
+    double ciLow = 0.0;       ///< Percentile CI lower bound.
+    double ciHigh = 0.0;      ///< Percentile CI upper bound.
+    std::vector<double> replicates; ///< Statistic per resample.
+};
+
+/**
+ * Bootstrap a scalar statistic of a univariate sample.
+ *
+ * @param sample Original observations.
+ * @param statistic Function mapping a sample to the statistic of interest.
+ * @param replicates Number of bootstrap resamples.
+ * @param rng Randomness source.
+ * @param confidence Two-sided confidence level for the percentile CI.
+ */
+BootstrapResult
+bootstrap(const std::vector<double> &sample,
+          const std::function<double(const std::vector<double> &)>
+              &statistic,
+          std::size_t replicates, Rng &rng, double confidence = 0.95);
+
+/**
+ * Bootstrap over row indices (for regression-style statistics where the
+ * sample is a set of (X row, y) pairs addressed by index).
+ *
+ * @param sampleSize Number of rows in the original sample.
+ * @param statistic Maps a multiset of row indices to the statistic.
+ */
+BootstrapResult
+bootstrapIndexed(std::size_t sampleSize,
+                 const std::function<double(
+                     const std::vector<std::size_t> &)> &statistic,
+                 std::size_t replicates, Rng &rng,
+                 double confidence = 0.95);
+
+} // namespace stats
+} // namespace treadmill
+
+#endif // TREADMILL_STATS_BOOTSTRAP_H_

@@ -1,0 +1,55 @@
+#include "stats/convergence.h"
+
+#include <cmath>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace treadmill {
+namespace stats {
+
+ConvergenceTracker::ConvergenceTracker(double relativeTolerance,
+                                       std::size_t window_,
+                                       std::size_t minRuns_)
+    : tolerance(relativeTolerance), window(window_), minRuns(minRuns_)
+{
+    if (!(relativeTolerance > 0.0))
+        throw ConfigError("convergence tolerance must be positive");
+    if (window_ == 0)
+        throw ConfigError("convergence window must be positive");
+}
+
+void
+ConvergenceTracker::add(double value)
+{
+    values.push_back(value);
+    meanHistory.push_back(mean(values));
+}
+
+bool
+ConvergenceTracker::converged() const
+{
+    if (values.size() < minRuns || meanHistory.size() < window + 1)
+        return false;
+    const double current = meanHistory.back();
+    if (current == 0.0)
+        return true;
+    for (std::size_t i = meanHistory.size() - window;
+         i < meanHistory.size(); ++i) {
+        const double prev = meanHistory[i - 1];
+        const double change = std::fabs(meanHistory[i] - prev) /
+                              std::fabs(current);
+        if (change > tolerance)
+            return false;
+    }
+    return true;
+}
+
+double
+ConvergenceTracker::runningMean() const
+{
+    return meanHistory.empty() ? 0.0 : meanHistory.back();
+}
+
+} // namespace stats
+} // namespace treadmill

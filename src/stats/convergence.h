@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Convergence detection for the repeated-experiment procedure.
+ *
+ * The paper's measurement procedure repeats the whole experiment until
+ * "the mean of the collected measurements has already converged"
+ * (S III-B). ConvergenceTracker watches the running mean and reports
+ * convergence once its relative movement over a window stays below a
+ * tolerance.
+ */
+
+#ifndef TREADMILL_STATS_CONVERGENCE_H_
+#define TREADMILL_STATS_CONVERGENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace treadmill {
+namespace stats {
+
+/** Watches a stream of per-run measurements for running-mean stability. */
+class ConvergenceTracker
+{
+  public:
+    /**
+     * @param relativeTolerance Max relative change of the running mean
+     *        across the window for convergence.
+     * @param window Number of consecutive stable updates required.
+     * @param minRuns Never report convergence before this many runs.
+     */
+    ConvergenceTracker(double relativeTolerance = 0.02,
+                       std::size_t window = 3, std::size_t minRuns = 5);
+
+    /** Record one per-run measurement. */
+    void add(double value);
+
+    /** True once the running mean has stabilized. */
+    bool converged() const;
+
+    /** Running mean of all measurements so far. */
+    double runningMean() const;
+
+    /** Number of measurements recorded. */
+    std::size_t count() const { return values.size(); }
+
+    /** All recorded measurements. */
+    const std::vector<double> &measurements() const { return values; }
+
+  private:
+    double tolerance;
+    std::size_t window;
+    std::size_t minRuns;
+    std::vector<double> values;
+    std::vector<double> meanHistory;
+};
+
+} // namespace stats
+} // namespace treadmill
+
+#endif // TREADMILL_STATS_CONVERGENCE_H_

@@ -1,0 +1,30 @@
+#include "stats/reservoir.h"
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace stats {
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity, const Rng &rng_)
+    : cap(capacity), rng(rng_)
+{
+    if (capacity == 0)
+        throw ConfigError("reservoir capacity must be positive");
+    reservoir.reserve(capacity);
+}
+
+void
+ReservoirSampler::add(double x)
+{
+    ++offered;
+    if (reservoir.size() < cap) {
+        reservoir.push_back(x);
+        return;
+    }
+    const std::uint64_t slot = rng.nextBelow(offered);
+    if (slot < cap)
+        reservoir[static_cast<std::size_t>(slot)] = x;
+}
+
+} // namespace stats
+} // namespace treadmill

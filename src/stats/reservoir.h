@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reservoir sampling for bounded-memory sample retention.
+ *
+ * The attribution procedure sub-samples 20k latency samples per
+ * experiment (paper S V-A); ReservoirSampler keeps a uniform random
+ * subset of an unbounded stream in O(capacity) memory.
+ */
+
+#ifndef TREADMILL_STATS_RESERVOIR_H_
+#define TREADMILL_STATS_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace treadmill {
+namespace stats {
+
+/** Algorithm-R reservoir sampler over doubles. */
+class ReservoirSampler
+{
+  public:
+    /**
+     * @param capacity Maximum retained samples.
+     * @param rng Source of randomness (copied; the sampler owns its
+     *            stream so callers' sequences are unaffected).
+     */
+    ReservoirSampler(std::size_t capacity, const Rng &rng);
+
+    /** Offer one observation to the reservoir. */
+    void add(double x);
+
+    /** Total observations offered so far. */
+    std::uint64_t seen() const { return offered; }
+
+    /** The retained sample (unspecified order). */
+    const std::vector<double> &samples() const { return reservoir; }
+
+    /** Capacity of the reservoir. */
+    std::size_t capacity() const { return cap; }
+
+  private:
+    std::size_t cap;
+    Rng rng;
+    std::vector<double> reservoir;
+    std::uint64_t offered = 0;
+};
+
+} // namespace stats
+} // namespace treadmill
+
+#endif // TREADMILL_STATS_RESERVOIR_H_

@@ -1,0 +1,137 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace treadmill {
+namespace stats {
+
+void
+Summary::add(double x)
+{
+    if (n == 0) {
+        lo = x;
+        hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    const double delta = x - meanAcc;
+    meanAcc += delta / static_cast<double>(n);
+    m2 += delta * (x - meanAcc);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.meanAcc - meanAcc;
+    const double combined = na + nb;
+    meanAcc += delta * nb / combined;
+    m2 += other.m2 + delta * delta * na * nb / combined;
+    n += other.n;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+double
+Summary::mean() const
+{
+    return n == 0 ? 0.0 : meanAcc;
+}
+
+double
+Summary::variance() const
+{
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::min() const
+{
+    return n == 0 ? 0.0 : lo;
+}
+
+double
+Summary::max() const
+{
+    return n == 0 ? 0.0 : hi;
+}
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        throw NumericalError("quantile of an empty sample");
+    if (!(q >= 0.0 && q <= 1.0))
+        throw NumericalError("quantile order must lie in [0, 1]");
+    if (sorted.size() == 1)
+        return sorted.front();
+    // R type-7: h = (n-1) q; interpolate between floor(h) and floor(h)+1.
+    const double h = static_cast<double>(sorted.size() - 1) * q;
+    const auto lo = static_cast<std::size_t>(h);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double
+quantile(std::vector<double> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    return quantileSorted(samples, q);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    return total / static_cast<double>(xs.size());
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    return quantileSorted(xs, 0.5);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double m2 = 0.0;
+    for (double x : xs)
+        m2 += (x - m) * (x - m);
+    return std::sqrt(m2 / static_cast<double>(xs.size() - 1));
+}
+
+} // namespace stats
+} // namespace treadmill

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Streaming summary statistics and exact sample quantiles.
+ */
+
+#ifndef TREADMILL_STATS_SUMMARY_H_
+#define TREADMILL_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace treadmill {
+namespace stats {
+
+/**
+ * Single-pass count/mean/variance/min/max accumulator (Welford's
+ * algorithm), numerically stable for long runs.
+ */
+class Summary
+{
+  public:
+    Summary() = default;
+
+    /** Fold one observation into the summary. */
+    void add(double x);
+
+    /** Fold another summary into this one (parallel merge). */
+    void merge(const Summary &other);
+
+    std::uint64_t count() const { return n; }
+    double mean() const;
+    /** Unbiased sample variance (n-1 denominator); 0 for n < 2. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return total; }
+
+  private:
+    std::uint64_t n = 0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * The q-quantile of @p sorted (ascending) by linear interpolation
+ * (R type-7 / NumPy default). @p sorted must be non-empty.
+ */
+double quantileSorted(const std::vector<double> &sorted, double q);
+
+/**
+ * The q-quantile of @p samples (any order); sorts a copy.
+ */
+double quantile(std::vector<double> samples, double q);
+
+/** Arithmetic mean of @p xs; 0 when empty. */
+double mean(const std::vector<double> &xs);
+
+/** Median of @p xs (sorts a copy); 0 when empty. */
+double median(std::vector<double> xs);
+
+/** Unbiased sample standard deviation of @p xs; 0 for size < 2. */
+double stddev(const std::vector<double> &xs);
+
+} // namespace stats
+} // namespace treadmill
+
+#endif // TREADMILL_STATS_SUMMARY_H_

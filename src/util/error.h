@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Error-handling primitives.
+ *
+ * Following the gem5 fatal/panic split: user-facing, recoverable problems
+ * (bad configuration, malformed JSON, impossible experiment parameters)
+ * throw treadmill::Error so library users can catch and report them;
+ * internal invariant violations abort via TM_ASSERT / panic().
+ */
+
+#ifndef TREADMILL_UTIL_ERROR_H_
+#define TREADMILL_UTIL_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace treadmill {
+
+/** Base exception for all user-facing Treadmill errors. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Raised when a configuration (JSON or programmatic) is invalid. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &what) : Error(what) {}
+};
+
+/** Raised when a numerical routine cannot produce a result. */
+class NumericalError : public Error
+{
+  public:
+    explicit NumericalError(const std::string &what) : Error(what) {}
+};
+
+} // namespace treadmill
+
+#endif // TREADMILL_UTIL_ERROR_H_

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace treadmill {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (static_cast<int>(level) <= static_cast<int>(g_level))
+        std::cerr << tag << ": " << msg << "\n";
+}
+
+} // namespace detail
+
+void
+inform(const std::string &msg)
+{
+    detail::emit(LogLevel::Info, "info", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    detail::emit(LogLevel::Warn, "warn", msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    detail::emit(LogLevel::Debug, "debug", msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+} // namespace treadmill

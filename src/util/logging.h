@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal logging and assertion facilities (gem5-style inform/warn/panic).
+ */
+
+#ifndef TREADMILL_UTIL_LOGGING_H_
+#define TREADMILL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace treadmill {
+
+/** Verbosity levels for runtime log output. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global log verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+void emit(LogLevel level, const std::string &tag, const std::string &msg);
+} // namespace detail
+
+/** Informational message; shown at Info verbosity and above. */
+void inform(const std::string &msg);
+
+/** Warning message; shown at Warn verbosity and above. */
+void warn(const std::string &msg);
+
+/** Debug message; shown only at Debug verbosity. */
+void debug(const std::string &msg);
+
+/**
+ * Abort due to an internal invariant violation (a Treadmill bug).
+ * Never returns.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Assert an internal invariant; panics with file/line context on failure.
+ */
+#define TM_ASSERT(cond, msg)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream tm_assert_oss_;                             \
+            tm_assert_oss_ << __FILE__ << ":" << __LINE__                  \
+                           << ": assertion failed: " #cond ": " << (msg);  \
+            ::treadmill::panic(tm_assert_oss_.str());                      \
+        }                                                                  \
+    } while (false)
+
+} // namespace treadmill
+
+#endif // TREADMILL_UTIL_LOGGING_H_

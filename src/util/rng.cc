@@ -1,0 +1,88 @@
+#include "util/rng.h"
+
+#include "util/logging.h"
+
+namespace treadmill {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state)
+        word = splitmix64(s);
+    // xoshiro must not start from the all-zero state.
+    if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
+        state[0] = 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDoublePositive()
+{
+    return 1.0 - nextDouble();
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    TM_ASSERT(bound != 0, "nextBelow(0) is undefined");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+Rng
+Rng::substream(std::uint64_t key) const
+{
+    std::uint64_t mix = state[0] ^ (key * 0x9e3779b97f4a7c15ull);
+    std::uint64_t s = splitmix64(mix);
+    s ^= state[2];
+    return Rng(splitmix64(s));
+}
+
+} // namespace treadmill

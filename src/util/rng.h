@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in Treadmill flows through explicitly seeded
+ * Rng instances so that experiments are reproducible bit-for-bit. The
+ * generator is xoshiro256** (Blackman & Vigna), seeded via SplitMix64;
+ * independent sub-streams are derived with substream().
+ */
+
+#ifndef TREADMILL_UTIL_RNG_H_
+#define TREADMILL_UTIL_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace treadmill {
+
+/**
+ * A small, fast, deterministic random number generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be used
+ * with <random> distributions, although Treadmill's own variate classes
+ * (random_variates.h) are preferred for reproducibility across platforms.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    Rng(const Rng &) = default;
+    Rng &operator=(const Rng &) = default;
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** UniformRandomBitGenerator interface. */
+    result_type operator()() { return next(); }
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in (0, 1]; safe as an argument to log(). */
+    double nextDoublePositive();
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /**
+     * Derive an independent sub-stream generator.
+     *
+     * Mixing the parent state with the key via SplitMix64 gives streams
+     * that are decorrelated for any distinct keys.
+     *
+     * @param key Identifies the sub-stream (e.g., a client index).
+     */
+    Rng substream(std::uint64_t key) const;
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+/** SplitMix64 step: mixes @p x and returns the next output. */
+std::uint64_t splitmix64(std::uint64_t &x);
+
+} // namespace treadmill
+
+#endif // TREADMILL_UTIL_RNG_H_

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small string-formatting helpers used by reports and benches.
+ */
+
+#ifndef TREADMILL_UTIL_STRINGS_H_
+#define TREADMILL_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace treadmill {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p s on @p sep (single character); keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Join @p parts with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+} // namespace treadmill
+
+#endif // TREADMILL_UTIL_STRINGS_H_

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Treadmill libraries.
+ *
+ * Simulated time is kept in integer nanoseconds so that event ordering is
+ * exact and runs are reproducible bit-for-bit. Latencies reported to users
+ * are converted to microseconds (the unit the paper uses throughout).
+ */
+
+#ifndef TREADMILL_UTIL_TYPES_H_
+#define TREADMILL_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace treadmill {
+
+/** Simulated time, in nanoseconds since simulation start. */
+using SimTime = std::uint64_t;
+
+/** A span of simulated time, in nanoseconds. */
+using SimDuration = std::uint64_t;
+
+/** Sentinel for "no time" / unset timestamps. */
+constexpr SimTime kNoTime = ~SimTime{0};
+
+/** @name Duration constructors
+ * Express literal durations in natural units.
+ * @{
+ */
+constexpr SimDuration
+nanoseconds(double n)
+{
+    return static_cast<SimDuration>(n);
+}
+
+constexpr SimDuration
+microseconds(double us)
+{
+    return static_cast<SimDuration>(us * 1e3);
+}
+
+constexpr SimDuration
+milliseconds(double ms)
+{
+    return static_cast<SimDuration>(ms * 1e6);
+}
+
+constexpr SimDuration
+seconds(double s)
+{
+    return static_cast<SimDuration>(s * 1e9);
+}
+/** @} */
+
+/** Convert a simulated duration to (fractional) microseconds. */
+constexpr double
+toMicros(SimDuration d)
+{
+    return static_cast<double>(d) / 1e3;
+}
+
+/** Convert a simulated duration to (fractional) seconds. */
+constexpr double
+toSeconds(SimDuration d)
+{
+    return static_cast<double>(d) / 1e9;
+}
+
+} // namespace treadmill
+
+#endif // TREADMILL_UTIL_TYPES_H_

@@ -1,0 +1,84 @@
+/** @file Tests for SLO capacity planning. */
+
+#include "analysis/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace analysis {
+namespace {
+
+CapacityParams
+quickCapacity(double sloUs)
+{
+    CapacityParams params;
+    params.base.collector.warmUpSamples = 100;
+    params.base.collector.calibrationSamples = 100;
+    params.base.collector.measurementSamples = 1200;
+    params.base.config.dvfs = hw::DvfsGovernor::Performance;
+    params.tau = 0.99;
+    params.sloUs = sloUs;
+    params.maxIterations = 4;
+    params.runsPerPoint = 2;
+    params.seed = 8;
+    return params;
+}
+
+TEST(CapacityTest, RejectsBadParameters)
+{
+    CapacityParams bad = quickCapacity(100.0);
+    bad.sloUs = 0.0;
+    EXPECT_THROW(planCapacity(bad), ConfigError);
+    bad = quickCapacity(100.0);
+    bad.utilizationLow = 0.9;
+    bad.utilizationHigh = 0.5;
+    EXPECT_THROW(planCapacity(bad), ConfigError);
+    bad = quickCapacity(100.0);
+    bad.runsPerPoint = 0;
+    EXPECT_THROW(planCapacity(bad), ConfigError);
+}
+
+TEST(CapacityTest, GenerousSloAllowsHighBracket)
+{
+    // A very loose SLO is met even at the top of the bracket.
+    const auto result = planCapacity(quickCapacity(100000.0));
+    EXPECT_FALSE(result.infeasible);
+    EXPECT_DOUBLE_EQ(result.maxUtilization, 0.90);
+    EXPECT_LE(result.probes.size(), 2u);
+}
+
+TEST(CapacityTest, ImpossibleSloReportsInfeasible)
+{
+    // No configuration serves a 1 us P99.
+    const auto result = planCapacity(quickCapacity(1.0));
+    EXPECT_TRUE(result.infeasible);
+    EXPECT_DOUBLE_EQ(result.maxUtilization, 0.0);
+}
+
+TEST(CapacityTest, ModerateSloBisectsToInteriorPoint)
+{
+    // Pick an SLO between the low-load and high-load P99 so the
+    // answer must lie strictly inside the bracket.
+    const auto result = planCapacity(quickCapacity(200.0));
+    ASSERT_FALSE(result.infeasible);
+    EXPECT_GT(result.maxUtilization, 0.05);
+    EXPECT_LT(result.maxUtilization, 0.90);
+    EXPECT_LE(result.latencyAtMaxUs, 200.0);
+    EXPECT_GT(result.maxRequestsPerSecond, 0.0);
+    // Bracket + iterations probes recorded.
+    EXPECT_EQ(result.probes.size(), 2u + 4u);
+}
+
+TEST(CapacityTest, ProbeLatencyIncreasesWithUtilization)
+{
+    const auto result = planCapacity(quickCapacity(200.0));
+    // The two bracket probes: low util must be faster than high util.
+    ASSERT_GE(result.probes.size(), 2u);
+    EXPECT_LT(result.probes[0].latencyUs, result.probes[1].latencyUs);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace treadmill

@@ -1,0 +1,76 @@
+/** @file Tests for per-operation and per-component latency views. */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "stats/summary.h"
+
+namespace treadmill {
+namespace core {
+namespace {
+
+ExperimentParams
+mixedParams()
+{
+    ExperimentParams params;
+    params.workload.getFraction = 0.7;
+    params.workload.valueBytesMean = 400.0;
+    params.workload.valueBytesSigma = 0.0;
+    params.targetUtilization = 0.4;
+    params.config.dvfs = hw::DvfsGovernor::Performance;
+    params.collector.warmUpSamples = 100;
+    params.collector.calibrationSamples = 100;
+    params.collector.measurementSamples = 2500;
+    params.seed = 6;
+    return params;
+}
+
+TEST(DecompositionTest, PerOpSamplesCoverAllResponses)
+{
+    const auto result = runExperiment(mixedParams());
+    const std::size_t total =
+        result.getLatencyUs.size() + result.setLatencyUs.size();
+    EXPECT_EQ(total, result.serverComponentUs.size());
+    EXPECT_FALSE(result.getLatencyUs.empty());
+    EXPECT_FALSE(result.setLatencyUs.empty());
+}
+
+TEST(DecompositionTest, MixRatioMatchesWorkload)
+{
+    const auto result = runExperiment(mixedParams());
+    const double total = static_cast<double>(
+        result.getLatencyUs.size() + result.setLatencyUs.size());
+    EXPECT_NEAR(static_cast<double>(result.getLatencyUs.size()) / total,
+                0.7, 0.03);
+}
+
+TEST(DecompositionTest, SetsAreSlowerThanGets)
+{
+    // SETs carry the payload and cost more worker cycles; with a
+    // large fixed value size the medians must separate.
+    const auto result = runExperiment(mixedParams());
+    EXPECT_GT(stats::median(result.setLatencyUs),
+              stats::median(result.getLatencyUs));
+}
+
+TEST(DecompositionTest, ComponentsSumBelowEndToEnd)
+{
+    // server + network + client components account for the measured
+    // latency (they are the full path decomposition).
+    const auto result = runExperiment(mixedParams());
+    const double endToEnd =
+        stats::mean(result.getLatencyUs) *
+            static_cast<double>(result.getLatencyUs.size()) +
+        stats::mean(result.setLatencyUs) *
+            static_cast<double>(result.setLatencyUs.size());
+    const double parts =
+        (stats::mean(result.serverComponentUs) +
+         stats::mean(result.networkComponentUs) +
+         stats::mean(result.clientComponentUs)) *
+        static_cast<double>(result.serverComponentUs.size());
+    EXPECT_NEAR(parts / endToEnd, 1.0, 0.02);
+}
+
+} // namespace
+} // namespace core
+} // namespace treadmill

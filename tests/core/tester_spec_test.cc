@@ -1,0 +1,78 @@
+/** @file Unit tests for Table I feature classification. */
+
+#include "core/tester_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace treadmill {
+namespace core {
+namespace {
+
+TEST(TesterSpecTest, TreadmillSatisfiesEveryRequirement)
+{
+    const TesterSpec tm = treadmillSpec();
+    EXPECT_TRUE(hasProperInterArrival(tm));
+    EXPECT_TRUE(hasProperAggregation(tm));
+    EXPECT_TRUE(avoidsClientQueueingBias(tm));
+    EXPECT_TRUE(handlesHysteresis(tm));
+    EXPECT_TRUE(hasGenerality(tm));
+}
+
+TEST(TesterSpecTest, MutilateMatchesTableOne)
+{
+    const TesterSpec m = mutilateSpec();
+    EXPECT_FALSE(hasProperInterArrival(m)); // closed loop
+    EXPECT_FALSE(hasProperAggregation(m));
+    EXPECT_TRUE(avoidsClientQueueingBias(m)); // multi-agent
+    EXPECT_FALSE(handlesHysteresis(m));
+    EXPECT_TRUE(hasGenerality(m));
+}
+
+TEST(TesterSpecTest, CloudSuiteMatchesTableOne)
+{
+    const TesterSpec cs = cloudSuiteSpec();
+    EXPECT_FALSE(hasProperInterArrival(cs));
+    EXPECT_FALSE(hasProperAggregation(cs));
+    EXPECT_FALSE(avoidsClientQueueingBias(cs)); // single client
+    EXPECT_FALSE(handlesHysteresis(cs));
+    EXPECT_FALSE(hasGenerality(cs));
+    EXPECT_EQ(cs.clientMachines, 1u);
+}
+
+TEST(TesterSpecTest, YcsbMatchesTableOne)
+{
+    const TesterSpec y = ycsbSpec();
+    EXPECT_FALSE(hasProperInterArrival(y));
+    EXPECT_FALSE(avoidsClientQueueingBias(y));
+    EXPECT_TRUE(hasGenerality(y));
+}
+
+TEST(TesterSpecTest, FabanMatchesTableOne)
+{
+    const TesterSpec f = fabanSpec();
+    EXPECT_FALSE(hasProperInterArrival(f));
+    EXPECT_TRUE(avoidsClientQueueingBias(f));
+    EXPECT_TRUE(hasGenerality(f));
+}
+
+TEST(TesterSpecTest, SurveyedListHasFiveTools)
+{
+    const auto all = surveyedTesters();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all.back().name, "Treadmill");
+}
+
+TEST(TesterSpecTest, OnlyTreadmillPassesEverything)
+{
+    for (const auto &spec : surveyedTesters()) {
+        const bool passesAll =
+            hasProperInterArrival(spec) && hasProperAggregation(spec) &&
+            avoidsClientQueueingBias(spec) && handlesHysteresis(spec) &&
+            hasGenerality(spec);
+        EXPECT_EQ(passesAll, spec.name == "Treadmill") << spec.name;
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace treadmill

@@ -1,0 +1,127 @@
+/** @file Direct tests of the Core FIFO queue, including the
+ *  completion-callback reentrancy cases. */
+
+#include "hw/core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace treadmill {
+namespace hw {
+namespace {
+
+/** Core with a fixed 1 us per item duration model. */
+struct Fixture {
+    sim::Simulation sim;
+    Core core;
+
+    Fixture()
+        : core(sim, 0, [](unsigned, const WorkItem &item) {
+              return microseconds(1) + item.fixedStall;
+          })
+    {
+    }
+
+    WorkItem
+    item(std::function<void(SimTime, SimTime)> done,
+         SimDuration stall = 0)
+    {
+        WorkItem w;
+        w.cycles = 1000.0;
+        w.fixedStall = stall;
+        w.done = std::move(done);
+        return w;
+    }
+};
+
+TEST(CoreTest, IdleCoreStartsImmediately)
+{
+    Fixture f;
+    SimTime start = kNoTime;
+    f.core.submit(f.item([&](SimTime s, SimTime) { start = s; }));
+    EXPECT_TRUE(f.core.busy());
+    f.sim.run();
+    EXPECT_EQ(start, 0u);
+    EXPECT_FALSE(f.core.busy());
+    EXPECT_EQ(f.core.completed(), 1u);
+}
+
+TEST(CoreTest, CompletionCallbackMaySubmitToSameCore)
+{
+    // Regression test: a callback resubmitting to its own core must
+    // queue behind work that was already waiting, and nothing may run
+    // twice.
+    Fixture f;
+    std::vector<int> order;
+    f.core.submit(f.item([&](SimTime, SimTime) {
+        order.push_back(0);
+        // Resubmit from inside the completion callback.
+        f.core.submit(f.item([&](SimTime, SimTime) {
+            order.push_back(2);
+        }));
+    }));
+    f.core.submit(f.item([&](SimTime, SimTime) { order.push_back(1); }));
+    f.sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(f.core.completed(), 3u);
+    EXPECT_EQ(f.sim.now(), microseconds(3));
+}
+
+TEST(CoreTest, SelfPerpetuatingChainExecutesSerially)
+{
+    Fixture f;
+    int count = 0;
+    std::function<void(SimTime, SimTime)> chain =
+        [&](SimTime, SimTime) {
+            if (++count < 100)
+                f.core.submit(f.item(chain));
+        };
+    f.core.submit(f.item(chain));
+    f.sim.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(f.sim.now(), microseconds(100));
+    EXPECT_EQ(f.core.busyTime(), microseconds(100));
+}
+
+TEST(CoreTest, QueueDepthReflectsBacklog)
+{
+    Fixture f;
+    for (int i = 0; i < 5; ++i)
+        f.core.submit(f.item([](SimTime, SimTime) {}));
+    // One executing, four queued.
+    EXPECT_EQ(f.core.queueDepth(), 4u);
+    f.sim.run();
+    EXPECT_EQ(f.core.queueDepth(), 0u);
+}
+
+TEST(CoreTest, UtilizationIsBusyFraction)
+{
+    Fixture f;
+    f.core.submit(f.item([](SimTime, SimTime) {}));
+    f.sim.run();
+    f.sim.runUntil(microseconds(4));
+    EXPECT_NEAR(f.core.utilization(), 0.25, 0.01);
+}
+
+TEST(CoreTest, FixedStallExtendsExecution)
+{
+    Fixture f;
+    SimTime end = 0;
+    f.core.submit(f.item([&](SimTime, SimTime e) { end = e; },
+                         microseconds(9)));
+    f.sim.run();
+    EXPECT_EQ(end, microseconds(10));
+}
+
+TEST(CoreDeathTest, RequiresDurationModel)
+{
+    sim::Simulation sim;
+    EXPECT_DEATH(Core(sim, 0, nullptr), "duration model");
+}
+
+} // namespace
+} // namespace hw
+} // namespace treadmill

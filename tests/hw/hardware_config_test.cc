@@ -1,0 +1,79 @@
+/** @file Unit tests for factor-level coding (Table III). */
+
+#include "hw/hardware_config.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace treadmill {
+namespace hw {
+namespace {
+
+TEST(HardwareConfigTest, DefaultIsAllLow)
+{
+    HardwareConfig cfg;
+    EXPECT_FALSE(cfg.numaHigh());
+    EXPECT_FALSE(cfg.turboHigh());
+    EXPECT_FALSE(cfg.dvfsHigh());
+    EXPECT_FALSE(cfg.nicHigh());
+    EXPECT_EQ(cfg.index(), 0u);
+    EXPECT_EQ(cfg.bits(), "0000");
+}
+
+TEST(HardwareConfigTest, LevelsMatchPaperCoding)
+{
+    HardwareConfig cfg;
+    cfg.numa = NumaPolicy::Interleave;   // high
+    cfg.turbo = TurboMode::On;           // high
+    cfg.dvfs = DvfsGovernor::Performance; // high
+    cfg.nic = NicAffinity::AllNodes;     // high
+    const auto levels = cfg.levels();
+    for (double level : levels)
+        EXPECT_DOUBLE_EQ(level, 1.0);
+    EXPECT_EQ(cfg.bits(), "1111");
+}
+
+TEST(HardwareConfigTest, IndexRoundTrips)
+{
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(HardwareConfig::fromIndex(i).index(), i);
+}
+
+TEST(HardwareConfigTest, AllConfigsAreDistinct)
+{
+    std::set<std::string> labels;
+    for (const auto &cfg : allConfigs())
+        labels.insert(cfg.label());
+    EXPECT_EQ(labels.size(), 16u);
+}
+
+TEST(HardwareConfigTest, LabelMatchesFigureLegendStyle)
+{
+    HardwareConfig cfg = HardwareConfig::fromIndex(0b1010);
+    // bit0=numa low? index bits: numa=0, turbo=1, dvfs=0, nic=1.
+    EXPECT_EQ(cfg.label(), "numa-low,turbo-high,dvfs-low,nic-high");
+}
+
+TEST(HardwareConfigTest, FactorNamesCanonicalOrder)
+{
+    const auto &names = factorNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "numa");
+    EXPECT_EQ(names[1], "turbo");
+    EXPECT_EQ(names[2], "dvfs");
+    EXPECT_EQ(names[3], "nic");
+}
+
+TEST(HardwareConfigTest, EqualityComparesAllFactors)
+{
+    HardwareConfig a;
+    HardwareConfig b;
+    EXPECT_EQ(a, b);
+    b.turbo = TurboMode::On;
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace hw
+} // namespace treadmill

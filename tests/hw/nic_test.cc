@@ -1,0 +1,96 @@
+/** @file Unit tests for RSS interrupt steering. */
+
+#include "hw/nic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace treadmill {
+namespace hw {
+namespace {
+
+TEST(NicTest, QueueWithinHashSpace)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    PlacementState placement(spec, cfg, 1);
+    Nic nic(spec, cfg, placement);
+    EXPECT_EQ(nic.queues(), 16u);
+    for (std::uint64_t c = 0; c < 1000; ++c)
+        EXPECT_LT(nic.queueOf(c), 16u);
+}
+
+TEST(NicTest, HashIsDeterministicPerConnection)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    PlacementState placement(spec, cfg, 1);
+    Nic nic(spec, cfg, placement);
+    for (std::uint64_t c = 0; c < 100; ++c)
+        EXPECT_EQ(nic.queueOf(c), nic.queueOf(c));
+}
+
+TEST(NicTest, HashSpreadsAcrossQueues)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    PlacementState placement(spec, cfg, 1);
+    Nic nic(spec, cfg, placement);
+    std::set<unsigned> used;
+    for (std::uint64_t c = 0; c < 256; ++c)
+        used.insert(nic.queueOf(c));
+    EXPECT_EQ(used.size(), 16u);
+}
+
+TEST(NicTest, SameNodeAffinityStaysOnSocket0)
+{
+    MachineSpec spec;
+    HardwareConfig cfg; // nic low = same-node
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        PlacementState placement(spec, cfg, seed);
+        Nic nic(spec, cfg, placement);
+        for (unsigned q = 0; q < nic.queues(); ++q)
+            EXPECT_EQ(spec.socketOf(nic.coreOfQueue(q)), 0u);
+    }
+}
+
+TEST(NicTest, AllNodesAffinityUsesBothSockets)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    cfg.nic = NicAffinity::AllNodes;
+    PlacementState placement(spec, cfg, 2);
+    Nic nic(spec, cfg, placement);
+    std::set<unsigned> sockets;
+    for (unsigned q = 0; q < nic.queues(); ++q)
+        sockets.insert(spec.socketOf(nic.coreOfQueue(q)));
+    EXPECT_EQ(sockets.size(), 2u);
+}
+
+TEST(NicTest, RotationChangesMappingAcrossRuns)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    std::set<unsigned> firstQueueCores;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        PlacementState placement(spec, cfg, seed);
+        Nic nic(spec, cfg, placement);
+        firstQueueCores.insert(nic.coreOfQueue(0));
+    }
+    EXPECT_GT(firstQueueCores.size(), 3u);
+}
+
+TEST(NicTest, IrqCoreComposesHashAndAffinity)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    PlacementState placement(spec, cfg, 5);
+    Nic nic(spec, cfg, placement);
+    for (std::uint64_t c = 0; c < 50; ++c)
+        EXPECT_EQ(nic.irqCore(c), nic.coreOfQueue(nic.queueOf(c)));
+}
+
+} // namespace
+} // namespace hw
+} // namespace treadmill

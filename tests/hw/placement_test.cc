@@ -1,0 +1,113 @@
+/** @file Unit tests for per-run placement (hysteresis source). */
+
+#include "hw/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace treadmill {
+namespace hw {
+namespace {
+
+TEST(PlacementTest, DeterministicForSameSeed)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    PlacementState a(spec, cfg, 42);
+    PlacementState b(spec, cfg, 42);
+    for (unsigned w = 0; w < spec.workerThreads; ++w)
+        EXPECT_EQ(a.workerCore(w), b.workerCore(w));
+    for (std::uint64_t c = 0; c < 64; ++c) {
+        EXPECT_EQ(a.workerOfConnection(c), b.workerOfConnection(c));
+        EXPECT_EQ(a.bufferIsLocal(c), b.bufferIsLocal(c));
+    }
+    EXPECT_EQ(a.nicQueueRotation(), b.nicQueueRotation());
+    EXPECT_DOUBLE_EQ(a.localBufferFraction(), b.localBufferFraction());
+}
+
+TEST(PlacementTest, DifferentSeedsDiffer)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    std::set<double> fractions;
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        PlacementState p(spec, cfg, seed);
+        fractions.insert(p.localBufferFraction());
+    }
+    // Essentially every run should draw a distinct local fraction.
+    EXPECT_GT(fractions.size(), 12u);
+}
+
+TEST(PlacementTest, WorkerCoresAreDistinctSocket0Cores)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        PlacementState p(spec, cfg, seed);
+        std::set<unsigned> cores;
+        for (unsigned w = 0; w < spec.workerThreads; ++w) {
+            const unsigned c = p.workerCore(w);
+            EXPECT_LT(c, spec.coresPerSocket); // socket 0
+            cores.insert(c);
+        }
+        EXPECT_EQ(cores.size(), spec.workerThreads); // distinct
+    }
+}
+
+TEST(PlacementTest, ConnectionsSpreadAcrossWorkers)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    PlacementState p(spec, cfg, 7);
+    std::vector<int> counts(spec.workerThreads, 0);
+    const int conns = 1000;
+    for (std::uint64_t c = 0; c < conns; ++c)
+        ++counts[p.workerOfConnection(c)];
+    for (unsigned w = 0; w < spec.workerThreads; ++w)
+        EXPECT_NEAR(counts[w], conns / static_cast<int>(spec.workerThreads),
+                    conns / 8);
+}
+
+TEST(PlacementTest, SameNodeLocalFractionInRange)
+{
+    MachineSpec spec;
+    HardwareConfig cfg; // numa low = same-node
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        PlacementState p(spec, cfg, seed);
+        EXPECT_GE(p.localBufferFraction(), 0.78);
+        EXPECT_LE(p.localBufferFraction(), 0.92);
+        // Empirical local fraction tracks the drawn fraction.
+        int local = 0;
+        const int conns = 2000;
+        for (std::uint64_t c = 0; c < conns; ++c)
+            local += p.bufferIsLocal(c) ? 1 : 0;
+        EXPECT_NEAR(static_cast<double>(local) / conns,
+                    p.localBufferFraction(), 0.05);
+    }
+}
+
+TEST(PlacementTest, InterleaveBuffersNeverWhollyLocal)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    cfg.numa = NumaPolicy::Interleave;
+    PlacementState p(spec, cfg, 3);
+    for (std::uint64_t c = 0; c < 100; ++c)
+        EXPECT_FALSE(p.bufferIsLocal(c));
+    EXPECT_NEAR(p.perAccessRemoteProbability(), 0.5, 0.05);
+}
+
+TEST(PlacementTest, NicRotationWithinQueueCount)
+{
+    MachineSpec spec;
+    HardwareConfig cfg;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        PlacementState p(spec, cfg, seed);
+        EXPECT_LT(p.nicQueueRotation(), spec.nicQueues());
+    }
+}
+
+} // namespace
+} // namespace hw
+} // namespace treadmill

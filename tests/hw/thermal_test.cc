@@ -1,0 +1,85 @@
+/** @file Unit tests for the thermal-headroom token bucket. */
+
+#include "hw/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace hw {
+namespace {
+
+TEST(ThermalTest, RejectsBadParameters)
+{
+    EXPECT_THROW(ThermalModel(0.0, 1.0), ConfigError);
+    EXPECT_THROW(ThermalModel(1.0, 0.0), ConfigError);
+}
+
+TEST(ThermalTest, StartsFull)
+{
+    ThermalModel t(1000.0, 0.1);
+    EXPECT_DOUBLE_EQ(t.available(0), 1000.0);
+}
+
+TEST(ThermalTest, GrantsUpToAvailable)
+{
+    ThermalModel t(1000.0, 0.001);
+    EXPECT_DOUBLE_EQ(t.request(0, 400.0, 1.0), 400.0);
+    EXPECT_DOUBLE_EQ(t.request(0, 900.0, 1.0), 600.0);
+    EXPECT_DOUBLE_EQ(t.request(0, 100.0, 1.0), 0.0);
+}
+
+TEST(ThermalTest, RefillsOverTime)
+{
+    ThermalModel t(1000.0, 0.5);
+    EXPECT_DOUBLE_EQ(t.request(0, 1000.0, 1.0), 1000.0);
+    // After 1000 ns at 0.5 tokens/ns, 500 tokens are back.
+    EXPECT_DOUBLE_EQ(t.available(1000), 500.0);
+}
+
+TEST(ThermalTest, RefillCapsAtCapacity)
+{
+    ThermalModel t(100.0, 1.0);
+    EXPECT_DOUBLE_EQ(t.available(1000000), 100.0);
+}
+
+TEST(ThermalTest, CostMultiplierConsumesFaster)
+{
+    ThermalModel cheap(1000.0, 0.001);
+    ThermalModel costly(1000.0, 0.001);
+    // Same request, double cost: half the grant once tokens run short.
+    EXPECT_DOUBLE_EQ(cheap.request(0, 800.0, 1.0), 800.0);
+    EXPECT_DOUBLE_EQ(costly.request(0, 800.0, 2.0), 500.0);
+}
+
+TEST(ThermalTest, ZeroRequestGrantsZero)
+{
+    ThermalModel t(100.0, 0.1);
+    EXPECT_DOUBLE_EQ(t.request(10, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(t.request(10, -5.0, 1.0), 0.0);
+}
+
+TEST(ThermalTest, ResetRestoresFullBucket)
+{
+    ThermalModel t(500.0, 0.01);
+    t.request(0, 500.0, 1.0);
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.available(0), 500.0);
+}
+
+TEST(ThermalTest, SustainedDemandLimitedByRefill)
+{
+    // Once the bucket is drained, grants track the refill rate.
+    ThermalModel t(100.0, 0.25);
+    t.request(0, 100.0, 1.0); // drain
+    double granted = 0.0;
+    for (SimTime now = 100; now <= 1000; now += 100)
+        granted += t.request(now, 1000.0, 1.0);
+    // 1000 ns of refill at 0.25/ns = 250 tokens across the ten grants.
+    EXPECT_NEAR(granted, 250.0, 1e-9);
+}
+
+} // namespace
+} // namespace hw
+} // namespace treadmill

@@ -1,0 +1,81 @@
+/** @file Unit tests for the tcpdump-equivalent packet capture. */
+
+#include "net/capture.h"
+
+#include <gtest/gtest.h>
+
+namespace treadmill {
+namespace net {
+namespace {
+
+Packet
+withSeq(std::uint64_t seq)
+{
+    Packet p;
+    p.seqId = seq;
+    return p;
+}
+
+TEST(CaptureTest, MatchesBySequenceId)
+{
+    PacketCapture cap;
+    cap.onRequest(withSeq(1), microseconds(10));
+    cap.onRequest(withSeq(2), microseconds(20));
+    cap.onResponse(withSeq(2), microseconds(50));
+    cap.onResponse(withSeq(1), microseconds(100));
+
+    ASSERT_EQ(cap.latenciesUs().size(), 2u);
+    EXPECT_DOUBLE_EQ(cap.latenciesUs()[0], 30.0); // seq 2
+    EXPECT_DOUBLE_EQ(cap.latenciesUs()[1], 90.0); // seq 1
+}
+
+TEST(CaptureTest, TracksOutstanding)
+{
+    PacketCapture cap;
+    cap.onRequest(withSeq(1), 0);
+    cap.onRequest(withSeq(2), 0);
+    EXPECT_EQ(cap.outstanding(), 2u);
+    cap.onResponse(withSeq(1), 10);
+    EXPECT_EQ(cap.outstanding(), 1u);
+}
+
+TEST(CaptureTest, UnmatchedResponsesCounted)
+{
+    PacketCapture cap;
+    cap.onResponse(withSeq(9), 10);
+    EXPECT_EQ(cap.unmatchedResponses(), 1u);
+    EXPECT_TRUE(cap.latenciesUs().empty());
+}
+
+TEST(CaptureTest, DuplicateResponseIsUnmatched)
+{
+    PacketCapture cap;
+    cap.onRequest(withSeq(1), 0);
+    cap.onResponse(withSeq(1), 10);
+    cap.onResponse(withSeq(1), 20);
+    EXPECT_EQ(cap.latenciesUs().size(), 1u);
+    EXPECT_EQ(cap.unmatchedResponses(), 1u);
+}
+
+TEST(CaptureTest, ResetClearsState)
+{
+    PacketCapture cap;
+    cap.onRequest(withSeq(1), 0);
+    cap.onResponse(withSeq(1), 10);
+    cap.reset();
+    EXPECT_TRUE(cap.latenciesUs().empty());
+    EXPECT_EQ(cap.requestsSeen(), 0u);
+    EXPECT_EQ(cap.outstanding(), 0u);
+}
+
+TEST(CaptureTest, CountsRequests)
+{
+    PacketCapture cap;
+    for (std::uint64_t i = 0; i < 5; ++i)
+        cap.onRequest(withSeq(i), i);
+    EXPECT_EQ(cap.requestsSeen(), 5u);
+}
+
+} // namespace
+} // namespace net
+} // namespace treadmill

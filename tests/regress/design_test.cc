@@ -1,0 +1,105 @@
+/** @file Unit tests for the factorial design builder. */
+
+#include "regress/design.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace regress {
+namespace {
+
+TEST(DesignTest, TermCountIsTwoToTheK)
+{
+    EXPECT_EQ(FactorialDesign({"a"}).termCount(), 2u);
+    EXPECT_EQ(FactorialDesign({"a", "b"}).termCount(), 4u);
+    EXPECT_EQ(FactorialDesign({"numa", "turbo", "dvfs", "nic"})
+                  .termCount(),
+              16u);
+}
+
+TEST(DesignTest, RejectsDegenerateFactorLists)
+{
+    EXPECT_THROW(FactorialDesign({}), ConfigError);
+    EXPECT_THROW(FactorialDesign(std::vector<std::string>(17, "f")),
+                 ConfigError);
+}
+
+TEST(DesignTest, TermNamesMatchPaperStyle)
+{
+    FactorialDesign d({"numa", "turbo", "dvfs", "nic"});
+    EXPECT_EQ(d.termName(0), "(Intercept)");
+    EXPECT_EQ(d.termName(1), "numa");
+    EXPECT_EQ(d.termName(2), "turbo");
+    EXPECT_EQ(d.termName(3), "numa:turbo");
+    EXPECT_EQ(d.termName(5), "numa:dvfs");
+    EXPECT_EQ(d.termName(15), "numa:turbo:dvfs:nic");
+    EXPECT_EQ(d.termNames().size(), 16u);
+}
+
+TEST(DesignTest, DesignRowIsProductOfLevels)
+{
+    FactorialDesign d({"a", "b"});
+    const Vec row = d.designRow({1.0, 0.0});
+    ASSERT_EQ(row.size(), 4u);
+    EXPECT_DOUBLE_EQ(row[0], 1.0); // intercept
+    EXPECT_DOUBLE_EQ(row[1], 1.0); // a
+    EXPECT_DOUBLE_EQ(row[2], 0.0); // b
+    EXPECT_DOUBLE_EQ(row[3], 0.0); // a:b
+
+    const Vec both = d.designRow({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(both[3], 1.0);
+}
+
+TEST(DesignTest, RowRejectsWrongLevelCount)
+{
+    FactorialDesign d({"a", "b"});
+    EXPECT_THROW(d.designRow({1.0}), NumericalError);
+}
+
+TEST(DesignTest, FullFactorialMatrixHasFullRank)
+{
+    FactorialDesign d({"a", "b", "c", "d"});
+    std::vector<std::vector<double>> obs;
+    for (unsigned cell = 0; cell < 16; ++cell) {
+        obs.push_back({static_cast<double>(cell & 1),
+                       static_cast<double>((cell >> 1) & 1),
+                       static_cast<double>((cell >> 2) & 1),
+                       static_cast<double>((cell >> 3) & 1)});
+    }
+    const Matrix x = d.designMatrix(obs);
+    EXPECT_EQ(x.rows(), 16u);
+    EXPECT_EQ(x.cols(), 16u);
+    // Gram matrix must be invertible: full rank.
+    EXPECT_NO_THROW(invertSpd(x.gram()));
+}
+
+TEST(DesignTest, PerturbationIsSmallAndSparesIntercept)
+{
+    FactorialDesign d({"a", "b"});
+    std::vector<std::vector<double>> obs{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+    const Matrix x = d.designMatrix(obs);
+    Rng rng(1);
+    const Matrix noisy = FactorialDesign::perturb(x, 0.01, rng);
+    for (std::size_t r = 0; r < 4; ++r) {
+        EXPECT_DOUBLE_EQ(noisy.at(r, 0), 1.0); // intercept exact
+        for (std::size_t c = 1; c < 4; ++c)
+            EXPECT_NEAR(noisy.at(r, c), x.at(r, c), 0.06);
+    }
+}
+
+TEST(DesignTest, ZeroSdPerturbationIsIdentity)
+{
+    FactorialDesign d({"a"});
+    const Matrix x = d.designMatrix({{0.0}, {1.0}});
+    Rng rng(2);
+    const Matrix same = FactorialDesign::perturb(x, 0.0, rng);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(same.at(r, c), x.at(r, c));
+}
+
+} // namespace
+} // namespace regress
+} // namespace treadmill

@@ -1,0 +1,203 @@
+/** @file Unit tests for the dense linear algebra layer. */
+
+#include "regress/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace regress {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RejectsEmptyShapes)
+{
+    EXPECT_THROW(Matrix(0, 3), NumericalError);
+    EXPECT_THROW(Matrix(3, 0), NumericalError);
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNeutral)
+{
+    Matrix m(3, 3);
+    int v = 1;
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            m.at(r, c) = v++;
+    const Matrix prod = m.multiply(Matrix::identity(3));
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(prod.at(r, c), m.at(r, c));
+}
+
+TEST(MatrixTest, KnownProduct)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    Matrix b(2, 2);
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(MatrixTest, ProductShapeMismatchThrows)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 2);
+    EXPECT_THROW(a.multiply(b), NumericalError);
+}
+
+TEST(MatrixTest, TransposeRoundTrips)
+{
+    Matrix m(2, 3);
+    m.at(0, 1) = 7.0;
+    m.at(1, 2) = -2.0;
+    const Matrix tt = m.transpose().transpose();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(tt.at(r, c), m.at(r, c));
+}
+
+TEST(MatrixTest, GramEqualsTransposeTimesSelf)
+{
+    Matrix x(4, 2);
+    double v = 0.5;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            x.at(r, c) = (v += 0.7);
+    const Matrix direct = x.transpose().multiply(x);
+    const Matrix gram = x.gram();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_NEAR(gram.at(r, c), direct.at(r, c), 1e-12);
+}
+
+TEST(MatrixTest, MatrixVectorProduct)
+{
+    Matrix m(2, 3);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(0, 2) = 3;
+    m.at(1, 0) = 4;
+    m.at(1, 1) = 5;
+    m.at(1, 2) = 6;
+    const Vec out = m.multiply(Vec{1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(out[0], 6.0);
+    EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(MatrixTest, TransposeMultiply)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(1, 0) = 3;
+    m.at(1, 1) = 4;
+    const Vec out = m.transposeMultiply(Vec{1.0, 1.0});
+    EXPECT_DOUBLE_EQ(out[0], 4.0);
+    EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(MatrixTest, SelectRowsWithRepetition)
+{
+    Matrix m(3, 1);
+    m.at(0, 0) = 10;
+    m.at(1, 0) = 20;
+    m.at(2, 0) = 30;
+    const Matrix sel = m.selectRows({2, 0, 2});
+    EXPECT_DOUBLE_EQ(sel.at(0, 0), 30.0);
+    EXPECT_DOUBLE_EQ(sel.at(1, 0), 10.0);
+    EXPECT_DOUBLE_EQ(sel.at(2, 0), 30.0);
+}
+
+TEST(SolveTest, CholeskySolvesSpdSystem)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 4;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 2;
+    a.at(1, 1) = 3;
+    const Vec x = solveCholesky(a, Vec{10.0, 8.0});
+    EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 10.0, 1e-12);
+    EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 8.0, 1e-12);
+}
+
+TEST(SolveTest, CholeskyRejectsIndefinite)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 2;
+    a.at(1, 1) = 1; // eigenvalues 3, -1
+    EXPECT_THROW(solveCholesky(a, Vec{1.0, 1.0}), NumericalError);
+}
+
+TEST(SolveTest, GaussianSolvesGeneralSystem)
+{
+    Matrix a(3, 3);
+    const double vals[3][3] = {{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            a.at(r, c) = vals[r][c];
+    const Vec b{-8.0, 0.0, 3.0};
+    const Vec x = solveLinearSystem(a, b);
+    // Verify A x = b with the original values.
+    for (std::size_t r = 0; r < 3; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 3; ++c)
+            sum += vals[r][c] * x[c];
+        EXPECT_NEAR(sum, b[r], 1e-10);
+    }
+}
+
+TEST(SolveTest, GaussianRejectsSingular)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 2;
+    a.at(1, 1) = 4;
+    EXPECT_THROW(solveLinearSystem(a, Vec{1.0, 2.0}), NumericalError);
+}
+
+TEST(SolveTest, InvertSpdGivesInverse)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 5;
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    a.at(1, 1) = 3;
+    const Matrix inv = invertSpd(a);
+    const Matrix prod = a.multiply(inv);
+    EXPECT_NEAR(prod.at(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(prod.at(0, 1), 0.0, 1e-12);
+    EXPECT_NEAR(prod.at(1, 0), 0.0, 1e-12);
+    EXPECT_NEAR(prod.at(1, 1), 1.0, 1e-12);
+}
+
+TEST(DotTest, KnownValue)
+{
+    EXPECT_DOUBLE_EQ(dot(Vec{1.0, 2.0, 3.0}, Vec{4.0, 5.0, 6.0}), 32.0);
+}
+
+} // namespace
+} // namespace regress
+} // namespace treadmill

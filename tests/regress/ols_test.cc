@@ -1,0 +1,144 @@
+/** @file Unit tests for OLS fitting and inference. */
+
+#include "regress/ols.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace regress {
+namespace {
+
+/** Design with intercept + one covariate, y = a + b x + noise. */
+struct LinearData {
+    Matrix x;
+    Vec y;
+    LinearData(std::size_t n, double a, double b, double noiseSd,
+               std::uint64_t seed)
+        : x(n, 2)
+    {
+        Rng rng(seed);
+        Normal noise(0.0, noiseSd);
+        Uniform covariate(0.0, 10.0);
+        y.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double xi = covariate.sample(rng);
+            x.at(i, 0) = 1.0;
+            x.at(i, 1) = xi;
+            y[i] = a + b * xi + noise.sample(rng);
+        }
+    }
+};
+
+TEST(OlsTest, RecoversExactCoefficientsWithoutNoise)
+{
+    LinearData data(50, 3.0, -2.0, 0.0, 1);
+    const OlsResult fit = fitOls(data.x, data.y);
+    EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+    EXPECT_NEAR(fit.coefficients[1], -2.0, 1e-9);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-9);
+}
+
+TEST(OlsTest, RecoversCoefficientsUnderNoise)
+{
+    LinearData data(2000, 5.0, 1.5, 1.0, 2);
+    const OlsResult fit = fitOls(data.x, data.y);
+    EXPECT_NEAR(fit.coefficients[0], 5.0, 0.15);
+    EXPECT_NEAR(fit.coefficients[1], 1.5, 0.05);
+    EXPECT_GT(fit.rSquared, 0.9);
+    EXPECT_NEAR(fit.sigma2, 1.0, 0.15);
+}
+
+TEST(OlsTest, SignificantCoefficientHasLowPValue)
+{
+    LinearData data(500, 0.0, 2.0, 1.0, 3);
+    const OlsResult fit = fitOls(data.x, data.y);
+    EXPECT_LT(fit.pValues[1], 1e-6);  // slope is real
+    EXPECT_GT(fit.pValues[0], 1e-4);  // intercept is zero
+}
+
+TEST(OlsTest, NullCovariateHasHighPValue)
+{
+    // y depends only on the intercept.
+    LinearData data(500, 4.0, 0.0, 1.0, 4);
+    const OlsResult fit = fitOls(data.x, data.y);
+    EXPECT_GT(fit.pValues[1], 0.01);
+}
+
+TEST(OlsTest, ResidualsSumToZeroWithIntercept)
+{
+    LinearData data(300, 2.0, 1.0, 2.0, 5);
+    const OlsResult fit = fitOls(data.x, data.y);
+    double sum = 0.0;
+    for (double r : fit.residuals)
+        sum += r;
+    EXPECT_NEAR(sum, 0.0, 1e-8);
+}
+
+TEST(OlsTest, ShapeMismatchThrows)
+{
+    Matrix x(10, 2);
+    Vec y(5);
+    EXPECT_THROW(fitOls(x, y), NumericalError);
+}
+
+TEST(OlsTest, UnderdeterminedThrows)
+{
+    Matrix x(2, 3);
+    Vec y(2);
+    EXPECT_THROW(fitOls(x, y), NumericalError);
+}
+
+TEST(OlsTest, CollinearDesignThrowsWithoutRidge)
+{
+    Matrix x(10, 2);
+    Vec y(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = 1.0; // identical columns
+        y[i] = static_cast<double>(i);
+    }
+    EXPECT_THROW(fitOls(x, y), NumericalError);
+    // Ridge rescues the solve.
+    EXPECT_NO_THROW(fitOls(x, y, 1e-6));
+}
+
+TEST(WeightedLsTest, UnitWeightsMatchOls)
+{
+    LinearData data(200, 1.0, 2.0, 0.5, 6);
+    const OlsResult ols = fitOls(data.x, data.y);
+    const Vec beta = solveWeightedLs(data.x, data.y,
+                                     Vec(200, 1.0), Vec(2, 0.0));
+    EXPECT_NEAR(beta[0], ols.coefficients[0], 1e-9);
+    EXPECT_NEAR(beta[1], ols.coefficients[1], 1e-9);
+}
+
+TEST(WeightedLsTest, ZeroWeightIgnoresOutlier)
+{
+    LinearData data(100, 1.0, 2.0, 0.0, 7);
+    Vec y = data.y;
+    y[0] += 1e6; // gross outlier
+    Vec weights(100, 1.0);
+    weights[0] = 0.0;
+    const Vec beta =
+        solveWeightedLs(data.x, y, weights, Vec(2, 0.0), 1e-10);
+    EXPECT_NEAR(beta[0], 1.0, 1e-6);
+    EXPECT_NEAR(beta[1], 2.0, 1e-6);
+}
+
+TEST(SequentialSsTest, ExplainedVarianceAccumulates)
+{
+    LinearData data(500, 2.0, 3.0, 0.5, 8);
+    const Vec ss = sequentialSumOfSquares(data.x, data.y);
+    ASSERT_EQ(ss.size(), 2u);
+    // Both the intercept and the slope explain substantial variance.
+    EXPECT_GT(ss[0], 0.0);
+    EXPECT_GT(ss[1], 0.0);
+}
+
+} // namespace
+} // namespace regress
+} // namespace treadmill

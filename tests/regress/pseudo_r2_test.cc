@@ -1,0 +1,98 @@
+/** @file Unit tests for the pseudo-R^2 goodness-of-fit metric. */
+
+#include "regress/pseudo_r2.h"
+
+#include <gtest/gtest.h>
+
+#include "regress/quantreg.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace regress {
+namespace {
+
+TEST(ErrorWeightTest, MatchesEquationFour)
+{
+    EXPECT_NEAR(quantileErrorWeight(0.99, -1.0), 0.01, 1e-12);
+    EXPECT_DOUBLE_EQ(quantileErrorWeight(0.99, 1.0), 0.99);
+    EXPECT_DOUBLE_EQ(quantileErrorWeight(0.99, 0.0), 0.99);
+    EXPECT_DOUBLE_EQ(quantileErrorWeight(0.5, -2.0), 0.5);
+}
+
+TEST(PseudoR2Test, PerfectPredictionIsOne)
+{
+    const Vec y{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(pseudoR2(y, y, 0.9), 1.0);
+}
+
+TEST(PseudoR2Test, ConstantQuantilePredictionIsZero)
+{
+    // Predicting the empirical tau-quantile everywhere equals the
+    // best constant model: pseudo-R2 = 0.
+    Rng rng(1);
+    Exponential exp(1.0);
+    Vec y;
+    for (int i = 0; i < 2000; ++i)
+        y.push_back(exp.sample(rng));
+    const double q90 = stats::quantile(y, 0.9);
+    const Vec constant(y.size(), q90);
+    EXPECT_NEAR(pseudoR2(y, constant, 0.9), 0.0, 1e-9);
+}
+
+TEST(PseudoR2Test, InformativeModelScoresHigh)
+{
+    // Strong covariate signal: QR fit explains most tail variation.
+    Rng rng(2);
+    Normal noise(0.0, 1.0);
+    const std::size_t n = 2000;
+    Matrix x(n, 2);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double group = static_cast<double>(i % 2);
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = group;
+        y[i] = 10.0 + 100.0 * group + noise.sample(rng);
+    }
+    const QuantRegResult fit = fitQuantile(x, y, 0.95);
+    EXPECT_GT(pseudoR2(x, y, fit.coefficients, 0.95), 0.9);
+}
+
+TEST(PseudoR2Test, UninformativeModelScoresNearZero)
+{
+    Rng rng(3);
+    Normal noise(0.0, 1.0);
+    const std::size_t n = 2000;
+    Matrix x(n, 2);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = static_cast<double>(i % 2); // unrelated to y
+        y[i] = 10.0 + noise.sample(rng);
+    }
+    const QuantRegResult fit = fitQuantile(x, y, 0.95);
+    const double r2 = pseudoR2(x, y, fit.coefficients, 0.95);
+    EXPECT_GE(r2, -0.05);
+    EXPECT_LT(r2, 0.1);
+}
+
+TEST(PseudoR2Test, WorseThanConstantGoesNegative)
+{
+    const Vec y{1.0, 2.0, 3.0, 4.0, 5.0};
+    const Vec bad(5, 1000.0);
+    EXPECT_LT(pseudoR2(y, bad, 0.5), 0.0);
+}
+
+TEST(PseudoR2Test, RejectsDegenerateInputs)
+{
+    EXPECT_THROW(pseudoR2(Vec{}, Vec{}, 0.5), NumericalError);
+    EXPECT_THROW(pseudoR2(Vec{1.0}, Vec{1.0, 2.0}, 0.5),
+                 NumericalError);
+    EXPECT_THROW(pseudoR2(Vec{1.0}, Vec{1.0}, 0.0), NumericalError);
+}
+
+} // namespace
+} // namespace regress
+} // namespace treadmill

@@ -1,0 +1,222 @@
+/** @file Unit and property tests for quantile regression. */
+
+#include "regress/quantreg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "regress/design.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace regress {
+namespace {
+
+TEST(PinballLossTest, AsymmetricWeights)
+{
+    EXPECT_NEAR(pinballLoss(0.99, 10.0), 9.9, 1e-12); // underestimate
+    EXPECT_NEAR(pinballLoss(0.99, -10.0), 0.1, 1e-12); // overestimate
+    EXPECT_DOUBLE_EQ(pinballLoss(0.5, 10.0), 5.0);
+    EXPECT_DOUBLE_EQ(pinballLoss(0.5, -10.0), 5.0);
+    EXPECT_DOUBLE_EQ(pinballLoss(0.9, 0.0), 0.0);
+}
+
+TEST(QuantRegTest, InterceptOnlyRecoversEmpiricalQuantile)
+{
+    // With only an intercept, the fit must equal the sample quantile.
+    Rng rng(1);
+    Exponential exp(1.0);
+    const std::size_t n = 4000;
+    Matrix x(n, 1);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x.at(i, 0) = 1.0;
+        y[i] = exp.sample(rng);
+    }
+    for (double tau : {0.5, 0.9, 0.99}) {
+        const QuantRegResult fit = fitQuantile(x, y, tau);
+        const double empirical = stats::quantile(y, tau);
+        EXPECT_NEAR(fit.coefficients[0], empirical,
+                    empirical * 0.03 + 0.01)
+            << "tau " << tau;
+    }
+}
+
+TEST(QuantRegTest, RecoversMedianRegressionLine)
+{
+    // y = 2 + 3x + symmetric noise: the median line is 2 + 3x.
+    Rng rng(2);
+    Normal noise(0.0, 1.0);
+    Uniform covariate(0.0, 5.0);
+    const std::size_t n = 3000;
+    Matrix x(n, 2);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = covariate.sample(rng);
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = xi;
+        y[i] = 2.0 + 3.0 * xi + noise.sample(rng);
+    }
+    const QuantRegResult fit = fitQuantile(x, y, 0.5);
+    EXPECT_NEAR(fit.coefficients[0], 2.0, 0.15);
+    EXPECT_NEAR(fit.coefficients[1], 3.0, 0.05);
+}
+
+TEST(QuantRegTest, TailSlopeTracksHeteroscedasticity)
+{
+    // y = x * E, E ~ Exp(1): Q_tau(y|x) = x * (-ln(1 - tau)); the
+    // tau-coefficient of x grows with tau. Classic QR behaviour that
+    // mean regression cannot express.
+    Rng rng(3);
+    Exponential exp(1.0);
+    Uniform covariate(1.0, 10.0);
+    const std::size_t n = 6000;
+    Matrix x(n, 2);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = covariate.sample(rng);
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = xi;
+        y[i] = xi * exp.sample(rng);
+    }
+    const QuantRegResult fit50 = fitQuantile(x, y, 0.5);
+    const QuantRegResult fit95 = fitQuantile(x, y, 0.95);
+    EXPECT_NEAR(fit50.coefficients[1], std::log(2.0), 0.06);
+    EXPECT_NEAR(fit95.coefficients[1], -std::log(0.05), 0.25);
+    EXPECT_GT(fit95.coefficients[1], fit50.coefficients[1] * 3.0);
+}
+
+TEST(QuantRegTest, FitLossBeatsOlsLoss)
+{
+    // The QR optimum must have pinball loss no worse than the OLS
+    // starting point for skewed data.
+    Rng rng(4);
+    Exponential exp(0.1);
+    const std::size_t n = 1000;
+    Matrix x(n, 1);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x.at(i, 0) = 1.0;
+        y[i] = exp.sample(rng);
+    }
+    const double tau = 0.9;
+    const QuantRegResult fit = fitQuantile(x, y, tau);
+    const Vec olsBeta{stats::mean(y)};
+    EXPECT_LT(fit.loss, totalPinballLoss(x, y, olsBeta, tau));
+}
+
+TEST(QuantRegTest, QuantileCrossingIsMonotoneOnAverage)
+{
+    // Predictions at the mean covariate should increase with tau.
+    Rng rng(5);
+    Normal noise(0.0, 2.0);
+    const std::size_t n = 2000;
+    Matrix x(n, 2);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = static_cast<double>(i % 10);
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = xi;
+        y[i] = 1.0 + xi + noise.sample(rng);
+    }
+    const Vec meanRow{1.0, 4.5};
+    double prev = -1e300;
+    for (double tau : {0.1, 0.5, 0.9, 0.99}) {
+        const double pred =
+            fitQuantile(x, y, tau).predict(meanRow);
+        EXPECT_GT(pred, prev);
+        prev = pred;
+    }
+}
+
+TEST(QuantRegTest, FactorialDesignWithKnownEffects)
+{
+    // Synthetic 2^2 design: y = 100 + 20 a - 10 b + 5 ab + noise.
+    Rng rng(6);
+    Normal noise(0.0, 2.0);
+    FactorialDesign design({"a", "b"});
+    std::vector<std::vector<double>> obs;
+    Vec y;
+    for (int rep = 0; rep < 200; ++rep) {
+        for (int a = 0; a <= 1; ++a) {
+            for (int b = 0; b <= 1; ++b) {
+                obs.push_back({static_cast<double>(a),
+                               static_cast<double>(b)});
+                y.push_back(100.0 + 20.0 * a - 10.0 * b + 5.0 * a * b +
+                            noise.sample(rng));
+            }
+        }
+    }
+    const Matrix x = design.designMatrix(obs);
+    const QuantRegResult fit = fitQuantile(x, y, 0.5);
+    ASSERT_EQ(fit.coefficients.size(), 4u);
+    EXPECT_NEAR(fit.coefficients[0], 100.0, 0.8); // intercept
+    EXPECT_NEAR(fit.coefficients[1], 20.0, 1.0);  // a
+    EXPECT_NEAR(fit.coefficients[2], -10.0, 1.0); // b
+    EXPECT_NEAR(fit.coefficients[3], 5.0, 1.5);   // a:b
+}
+
+TEST(QuantRegTest, RejectsBadInputs)
+{
+    Matrix x(10, 2);
+    Vec y(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = static_cast<double>(i);
+        y[i] = static_cast<double>(i);
+    }
+    EXPECT_THROW(fitQuantile(x, y, 0.0), NumericalError);
+    EXPECT_THROW(fitQuantile(x, y, 1.0), NumericalError);
+    EXPECT_THROW(fitQuantile(x, Vec(5), 0.5), NumericalError);
+    Matrix wide(2, 5);
+    EXPECT_THROW(fitQuantile(wide, Vec(2), 0.5), NumericalError);
+}
+
+TEST(QuantRegTest, ConvergesAndReportsIterations)
+{
+    Rng rng(7);
+    Normal noise(0.0, 1.0);
+    const std::size_t n = 500;
+    Matrix x(n, 1);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x.at(i, 0) = 1.0;
+        y[i] = 10.0 + noise.sample(rng);
+    }
+    const QuantRegResult fit = fitQuantile(x, y, 0.75);
+    EXPECT_TRUE(fit.converged);
+    EXPECT_GT(fit.iterations, 0u);
+}
+
+class QuantRegTauSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(QuantRegTauSweep, InterceptMatchesTheoreticalExponential)
+{
+    const double tau = GetParam();
+    Rng rng(42);
+    Exponential exp(2.0);
+    const std::size_t n = 20000;
+    Matrix x(n, 1);
+    Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x.at(i, 0) = 1.0;
+        y[i] = exp.sample(rng);
+    }
+    const QuantRegResult fit = fitQuantile(x, y, tau);
+    const double theory = -std::log(1.0 - tau) / 2.0;
+    EXPECT_NEAR(fit.coefficients[0], theory, theory * 0.06 + 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(TauGrid, QuantRegTauSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.95, 0.99));
+
+} // namespace
+} // namespace regress
+} // namespace treadmill

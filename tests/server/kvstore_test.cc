@@ -1,0 +1,116 @@
+/** @file Unit tests for the LRU key-value store. */
+
+#include "server/kvstore.h"
+
+#include <gtest/gtest.h>
+
+namespace treadmill {
+namespace server {
+namespace {
+
+TEST(KvStoreTest, GetMissOnEmptyStore)
+{
+    KvStore kv;
+    std::string value;
+    EXPECT_FALSE(kv.get("absent", &value));
+    EXPECT_EQ(kv.misses(), 1u);
+}
+
+TEST(KvStoreTest, SetThenGetRoundTrips)
+{
+    KvStore kv;
+    kv.set("k1", "hello");
+    std::string value;
+    EXPECT_TRUE(kv.get("k1", &value));
+    EXPECT_EQ(value, "hello");
+    EXPECT_EQ(kv.hits(), 1u);
+    EXPECT_EQ(kv.sets(), 1u);
+}
+
+TEST(KvStoreTest, OverwriteReplacesValue)
+{
+    KvStore kv;
+    kv.set("k", "old");
+    kv.set("k", "newer");
+    std::string value;
+    EXPECT_TRUE(kv.get("k", &value));
+    EXPECT_EQ(value, "newer");
+    EXPECT_EQ(kv.size(), 1u);
+    EXPECT_EQ(kv.bytesStored(), 5u);
+}
+
+TEST(KvStoreTest, NullValuePointerIsAllowed)
+{
+    KvStore kv;
+    kv.set("k", "v");
+    EXPECT_TRUE(kv.get("k", nullptr));
+}
+
+TEST(KvStoreTest, EraseRemovesEntry)
+{
+    KvStore kv;
+    kv.set("k", "v");
+    EXPECT_TRUE(kv.erase("k"));
+    EXPECT_FALSE(kv.erase("k"));
+    EXPECT_FALSE(kv.get("k", nullptr));
+    EXPECT_EQ(kv.bytesStored(), 0u);
+}
+
+TEST(KvStoreTest, TracksBytesStored)
+{
+    KvStore kv;
+    kv.set("a", std::string(100, 'x'));
+    kv.set("b", std::string(50, 'y'));
+    EXPECT_EQ(kv.bytesStored(), 150u);
+}
+
+TEST(KvStoreTest, EvictsLeastRecentlyUsed)
+{
+    KvStore kv(250);
+    kv.set("a", std::string(100, 'a'));
+    kv.set("b", std::string(100, 'b'));
+    // Touch "a" so "b" becomes LRU.
+    kv.get("a", nullptr);
+    kv.set("c", std::string(100, 'c')); // forces eviction
+    EXPECT_TRUE(kv.get("a", nullptr));
+    EXPECT_FALSE(kv.get("b", nullptr));
+    EXPECT_TRUE(kv.get("c", nullptr));
+    EXPECT_EQ(kv.evictions(), 1u);
+    EXPECT_LE(kv.bytesStored(), 250u);
+}
+
+TEST(KvStoreTest, UnboundedStoreNeverEvicts)
+{
+    KvStore kv(0);
+    for (int i = 0; i < 1000; ++i)
+        kv.set("key" + std::to_string(i), std::string(100, 'v'));
+    EXPECT_EQ(kv.size(), 1000u);
+    EXPECT_EQ(kv.evictions(), 0u);
+}
+
+TEST(KvStoreTest, SetUpdatesRecency)
+{
+    KvStore kv(250);
+    kv.set("a", std::string(100, 'a'));
+    kv.set("b", std::string(100, 'b'));
+    kv.set("a", std::string(100, 'A')); // "a" most recent again
+    kv.set("c", std::string(100, 'c'));
+    EXPECT_TRUE(kv.get("a", nullptr));
+    EXPECT_FALSE(kv.get("b", nullptr));
+}
+
+TEST(KvStoreTest, ManyKeysStressConsistency)
+{
+    KvStore kv;
+    for (int i = 0; i < 5000; ++i)
+        kv.set("key" + std::to_string(i), std::to_string(i));
+    for (int i = 0; i < 5000; ++i) {
+        std::string value;
+        ASSERT_TRUE(kv.get("key" + std::to_string(i), &value));
+        EXPECT_EQ(value, std::to_string(i));
+    }
+}
+
+} // namespace
+} // namespace server
+} // namespace treadmill

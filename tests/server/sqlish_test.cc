@@ -1,0 +1,147 @@
+/** @file Behaviour tests for the long-service query-server model. */
+
+#include "server/sqlish.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "sim/simulation.h"
+#include "stats/summary.h"
+
+namespace treadmill {
+namespace server {
+namespace {
+
+hw::HardwareConfig
+perfConfig()
+{
+    hw::HardwareConfig cfg;
+    cfg.dvfs = hw::DvfsGovernor::Performance;
+    return cfg;
+}
+
+RequestPtr
+makeRequest(std::uint64_t seq)
+{
+    auto req = std::make_shared<Request>();
+    req->seqId = seq;
+    req->connectionId = seq % 8;
+    req->op = OpType::Get;
+    req->key = "select:" + std::to_string(seq);
+    req->requestBytes = 200;
+    req->nicArrival = 0;
+    return req;
+}
+
+TEST(SqlishTest, ServesMillisecondScaleQueries)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, hw::MachineSpec{}, perfConfig(), 1);
+    SqlishServer server(machine, SqlishParams{}, 1);
+
+    std::vector<double> latencies;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        auto req = makeRequest(i);
+        req->connectionId = i; // spread across workers
+        req->nicArrival = sim.now();
+        server.receive(std::move(req), [&](const RequestPtr &r) {
+            latencies.push_back(r->serverLatencyUs());
+        });
+        sim.run(); // serialize: no queueing, pure service
+    }
+    ASSERT_EQ(latencies.size(), 16u);
+    // ~2.2M cycles at 2.2 GHz = 1 ms nominal, heavy jitter around it.
+    EXPECT_GT(stats::median(latencies), 200.0);
+    EXPECT_LT(stats::median(latencies), 5000.0);
+    EXPECT_EQ(server.served(), 16u);
+}
+
+TEST(SqlishTest, HeavyTailFromPlanVariance)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, hw::MachineSpec{}, perfConfig(), 2);
+    SqlishServer server(machine, SqlishParams{}, 2);
+
+    std::vector<double> latencies;
+    for (std::uint64_t i = 0; i < 400; ++i) {
+        auto req = makeRequest(i);
+        req->connectionId = i;
+        req->nicArrival = sim.now();
+        server.receive(std::move(req), [&](const RequestPtr &r) {
+            latencies.push_back(r->serverLatencyUs());
+        });
+        sim.run();
+    }
+    // With sigma 0.9, P99/P50 of pure service is large.
+    EXPECT_GT(stats::quantile(latencies, 0.99) /
+                  stats::median(latencies),
+              3.0);
+}
+
+TEST(SqlishTest, ExpectedServiceMatchesEmpiricalMean)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, hw::MachineSpec{}, perfConfig(), 3);
+    SqlishServer server(machine, SqlishParams{}, 3);
+
+    stats::Summary seconds;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        auto req = makeRequest(i);
+        req->connectionId = i;
+        req->nicArrival = sim.now();
+        server.receive(std::move(req), [&](const RequestPtr &r) {
+            seconds.add(toSeconds(r->workerEnd - r->workerStart));
+        });
+        sim.run();
+    }
+    // workerEnd - workerStart excludes irq handling; compare against
+    // expected service with generous tolerance (lognormal tail).
+    EXPECT_NEAR(seconds.mean(), server.expectedServiceSeconds(),
+                server.expectedServiceSeconds() * 0.15);
+}
+
+TEST(SqlishTest, RunsThroughTheFullExperimentHarness)
+{
+    core::ExperimentParams params;
+    params.kind = core::WorkloadKind::Sqlish;
+    params.targetUtilization = 0.5;
+    params.config = perfConfig();
+    params.collector.warmUpSamples = 30;
+    params.collector.calibrationSamples = 30;
+    params.collector.measurementSamples = 300;
+    params.seed = 9;
+    params.deadline = seconds(120);
+    const auto result = core::runExperiment(params);
+    EXPECT_EQ(result.instancesAtTarget(), 8u);
+    EXPECT_NEAR(result.serverUtilization, 0.5, 0.12);
+    // Millisecond-scale latencies end to end.
+    EXPECT_GT(result.aggregatedQuantile(
+                  0.5, core::AggregationKind::PerInstance),
+              500.0);
+}
+
+TEST(SqlishTest, SingleClientSufficesForLongServices)
+{
+    // The paper's S II-C caveat: at millisecond service times even one
+    // client machine drives the server without measurable self-bias.
+    core::ExperimentParams params;
+    params.kind = core::WorkloadKind::Sqlish;
+    params.targetUtilization = 0.6;
+    params.config = perfConfig();
+    params.tester.clientMachines = 1;
+    params.clientSendCostUs = 4.0;
+    params.clientReceiveCostUs = 4.0;
+    params.collector.warmUpSamples = 30;
+    params.collector.calibrationSamples = 30;
+    params.collector.measurementSamples = 400;
+    params.seed = 10;
+    params.deadline = seconds(120);
+    const auto result = core::runExperiment(params);
+    // The client is nearly idle: ~1k QPS x 8 us = <2% CPU.
+    EXPECT_LT(result.instances[0].cpuUtilization, 0.05);
+    EXPECT_NEAR(result.achievedRps / result.targetRps, 1.0, 0.1);
+}
+
+} // namespace
+} // namespace server
+} // namespace treadmill

@@ -1,0 +1,123 @@
+/** @file Unit tests for analytic queueing formulas. */
+
+#include "sim/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace sim {
+namespace {
+
+TEST(MM1Test, UtilizationIsLambdaOverMu)
+{
+    MM1 q(8.0, 10.0);
+    EXPECT_DOUBLE_EQ(q.utilization(), 0.8);
+}
+
+TEST(MM1Test, RejectsUnstableSystem)
+{
+    EXPECT_THROW(MM1(10.0, 10.0), ConfigError);
+    EXPECT_THROW(MM1(11.0, 10.0), ConfigError);
+    EXPECT_THROW(MM1(-1.0, 10.0), ConfigError);
+}
+
+TEST(MM1Test, MeanInSystemMatchesFormula)
+{
+    MM1 q(5.0, 10.0);
+    EXPECT_DOUBLE_EQ(q.meanInSystem(), 1.0); // rho/(1-rho) = .5/.5
+}
+
+TEST(MM1Test, VarianceGrowsWithUtilization)
+{
+    // The paper's Finding 1: variance rho/(1-rho)^2 grows with load.
+    MM1 low(1.0, 10.0);
+    MM1 mid(5.0, 10.0);
+    MM1 high(9.0, 10.0);
+    EXPECT_LT(low.varianceInSystem(), mid.varianceInSystem());
+    EXPECT_LT(mid.varianceInSystem(), high.varianceInSystem());
+    EXPECT_NEAR(high.varianceInSystem(), 0.9 / (0.1 * 0.1), 1e-9);
+}
+
+TEST(MM1Test, NumberInSystemDistributionSumsToOne)
+{
+    MM1 q(7.0, 10.0);
+    double sum = 0.0;
+    for (std::uint64_t n = 0; n < 200; ++n)
+        sum += q.probInSystem(n);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MM1Test, CdfMatchesPmfSum)
+{
+    MM1 q(6.0, 10.0);
+    double cum = 0.0;
+    for (std::uint64_t n = 0; n <= 10; ++n) {
+        cum += q.probInSystem(n);
+        EXPECT_NEAR(q.cdfInSystem(n), cum, 1e-12);
+    }
+}
+
+TEST(MM1Test, ResponseTimeIsLittlesLawConsistent)
+{
+    // L = lambda W.
+    MM1 q(4.0, 10.0);
+    EXPECT_NEAR(q.meanInSystem(), 4.0 * q.meanResponseTime(), 1e-12);
+}
+
+TEST(MM1Test, WaitPlusServiceEqualsResponse)
+{
+    MM1 q(4.0, 10.0);
+    EXPECT_NEAR(q.meanWaitingTime() + 0.1, q.meanResponseTime(), 1e-12);
+}
+
+TEST(MM1Test, ResponseQuantilesAreExponential)
+{
+    MM1 q(5.0, 10.0);
+    // Median of Exp(5) is ln(2)/5.
+    EXPECT_NEAR(q.responseTimeQuantile(0.5), std::log(2.0) / 5.0, 1e-12);
+    // P99 >> P50 for the exponential.
+    EXPECT_GT(q.responseTimeQuantile(0.99),
+              q.responseTimeQuantile(0.5) * 6.0);
+    EXPECT_THROW(q.responseTimeQuantile(1.0), ConfigError);
+}
+
+TEST(MMkTest, SingleServerMatchesMM1)
+{
+    MM1 mm1(8.0, 10.0);
+    MMk mmk(8.0, 10.0, 1);
+    EXPECT_NEAR(mmk.meanResponseTime(), mm1.meanResponseTime(), 1e-9);
+    EXPECT_NEAR(mmk.meanWaitingTime(), mm1.meanWaitingTime(), 1e-9);
+    EXPECT_DOUBLE_EQ(mmk.probWait(), 0.8); // Erlang C = rho for k=1
+}
+
+TEST(MMkTest, MoreServersReduceWaiting)
+{
+    MMk two(16.0, 10.0, 2);
+    MMk four(16.0, 10.0, 4);
+    MMk eight(16.0, 10.0, 8);
+    EXPECT_GT(two.meanWaitingTime(), four.meanWaitingTime());
+    EXPECT_GT(four.meanWaitingTime(), eight.meanWaitingTime());
+}
+
+TEST(MMkTest, ProbWaitIsAProbability)
+{
+    for (std::uint64_t k = 1; k <= 16; ++k) {
+        MMk q(0.7 * 10.0 * static_cast<double>(k), 10.0, k);
+        EXPECT_GE(q.probWait(), 0.0);
+        EXPECT_LE(q.probWait(), 1.0);
+    }
+}
+
+TEST(MMkTest, RejectsUnstableSystem)
+{
+    EXPECT_THROW(MMk(20.0, 10.0, 2), ConfigError);
+    EXPECT_THROW(MMk(10.0, 10.0, 0), ConfigError);
+}
+
+} // namespace
+} // namespace sim
+} // namespace treadmill

@@ -1,0 +1,114 @@
+/** @file Unit tests for bootstrap resampling. */
+
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/random_variates.h"
+
+namespace treadmill {
+namespace stats {
+namespace {
+
+TEST(BootstrapTest, RejectsDegenerateInputs)
+{
+    Rng rng(1);
+    const auto meanStat = [](const std::vector<double> &xs) {
+        return mean(xs);
+    };
+    EXPECT_THROW(bootstrap({}, meanStat, 100, rng), NumericalError);
+    EXPECT_THROW(bootstrap({1.0}, meanStat, 1, rng), ConfigError);
+}
+
+TEST(BootstrapTest, EstimateUsesOriginalSample)
+{
+    Rng rng(2);
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const auto result = bootstrap(
+        xs, [](const std::vector<double> &s) { return mean(s); }, 200,
+        rng);
+    EXPECT_DOUBLE_EQ(result.estimate, 2.5);
+    EXPECT_EQ(result.replicates.size(), 200u);
+}
+
+TEST(BootstrapTest, StandardErrorOfMeanMatchesTheory)
+{
+    // SE(mean) ~= sigma / sqrt(n).
+    Rng rng(3);
+    Normal n(50.0, 10.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 400; ++i)
+        xs.push_back(n.sample(rng));
+    const auto result = bootstrap(
+        xs, [](const std::vector<double> &s) { return mean(s); }, 800,
+        rng);
+    const double theory = stddev(xs) / std::sqrt(400.0);
+    EXPECT_NEAR(result.standardError, theory, theory * 0.25);
+}
+
+TEST(BootstrapTest, ConfidenceIntervalBracketsEstimate)
+{
+    Rng rng(4);
+    Normal n(0.0, 1.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 200; ++i)
+        xs.push_back(n.sample(rng));
+    const auto result = bootstrap(
+        xs, [](const std::vector<double> &s) { return mean(s); }, 500,
+        rng);
+    EXPECT_LE(result.ciLow, result.estimate + 0.05);
+    EXPECT_GE(result.ciHigh, result.estimate - 0.05);
+    EXPECT_LT(result.ciLow, result.ciHigh);
+}
+
+TEST(BootstrapTest, ConstantSampleHasZeroSe)
+{
+    Rng rng(5);
+    const std::vector<double> xs(50, 7.0);
+    const auto result = bootstrap(
+        xs, [](const std::vector<double> &s) { return mean(s); }, 100,
+        rng);
+    EXPECT_DOUBLE_EQ(result.standardError, 0.0);
+    EXPECT_DOUBLE_EQ(result.ciLow, 7.0);
+    EXPECT_DOUBLE_EQ(result.ciHigh, 7.0);
+}
+
+TEST(BootstrapIndexedTest, MatchesDirectBootstrapSemantics)
+{
+    Rng rng(6);
+    std::vector<double> xs;
+    Normal n(10.0, 3.0);
+    for (int i = 0; i < 300; ++i)
+        xs.push_back(n.sample(rng));
+
+    const auto result = bootstrapIndexed(
+        xs.size(),
+        [&xs](const std::vector<std::size_t> &idx) {
+            double s = 0.0;
+            for (std::size_t i : idx)
+                s += xs[i];
+            return s / static_cast<double>(idx.size());
+        },
+        600, rng);
+    EXPECT_NEAR(result.estimate, mean(xs), 1e-12);
+    const double theory = stddev(xs) / std::sqrt(300.0);
+    EXPECT_NEAR(result.standardError, theory, theory * 0.3);
+}
+
+TEST(BootstrapIndexedTest, RejectsEmpty)
+{
+    Rng rng(7);
+    EXPECT_THROW(bootstrapIndexed(
+                     0,
+                     [](const std::vector<std::size_t> &) { return 0.0; },
+                     10, rng),
+                 NumericalError);
+}
+
+} // namespace
+} // namespace stats
+} // namespace treadmill

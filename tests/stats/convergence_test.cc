@@ -1,0 +1,83 @@
+/** @file Unit tests for running-mean convergence detection. */
+
+#include "stats/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace stats {
+namespace {
+
+TEST(ConvergenceTest, RejectsBadParameters)
+{
+    EXPECT_THROW(ConvergenceTracker(0.0), ConfigError);
+    EXPECT_THROW(ConvergenceTracker(0.1, 0), ConfigError);
+}
+
+TEST(ConvergenceTest, NotConvergedBeforeMinRuns)
+{
+    ConvergenceTracker t(0.5, 1, 5);
+    for (int i = 0; i < 4; ++i) {
+        t.add(100.0);
+        EXPECT_FALSE(t.converged());
+    }
+    t.add(100.0);
+    EXPECT_TRUE(t.converged());
+}
+
+TEST(ConvergenceTest, ConstantStreamConverges)
+{
+    ConvergenceTracker t;
+    for (int i = 0; i < 10; ++i)
+        t.add(42.0);
+    EXPECT_TRUE(t.converged());
+    EXPECT_DOUBLE_EQ(t.runningMean(), 42.0);
+}
+
+TEST(ConvergenceTest, DriftingStreamDoesNotConverge)
+{
+    ConvergenceTracker t(0.01, 3, 5);
+    for (int i = 0; i < 20; ++i)
+        t.add(100.0 * static_cast<double>(i + 1));
+    EXPECT_FALSE(t.converged());
+}
+
+TEST(ConvergenceTest, NoisyStationaryStreamEventuallyConverges)
+{
+    Rng rng(1);
+    Normal noise(200.0, 20.0);
+    ConvergenceTracker t(0.01, 3, 5);
+    int runs = 0;
+    while (!t.converged() && runs < 500) {
+        t.add(noise.sample(rng));
+        ++runs;
+    }
+    EXPECT_TRUE(t.converged());
+    EXPECT_NEAR(t.runningMean(), 200.0, 15.0);
+    EXPECT_GE(t.count(), 5u);
+}
+
+TEST(ConvergenceTest, MeasurementsAreRecorded)
+{
+    ConvergenceTracker t;
+    t.add(1.0);
+    t.add(3.0);
+    EXPECT_EQ(t.measurements(), (std::vector<double>{1.0, 3.0}));
+    EXPECT_DOUBLE_EQ(t.runningMean(), 2.0);
+}
+
+TEST(ConvergenceTest, ZeroMeanStreamConverges)
+{
+    ConvergenceTracker t(0.01, 2, 3);
+    for (int i = 0; i < 6; ++i)
+        t.add(0.0);
+    EXPECT_TRUE(t.converged());
+}
+
+} // namespace
+} // namespace stats
+} // namespace treadmill

@@ -1,0 +1,238 @@
+/** @file Unit tests for adaptive and static histograms. */
+
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace stats {
+namespace {
+
+std::vector<double>
+exponentialSamples(std::uint64_t seed, int n, double rate)
+{
+    Rng rng(seed);
+    Exponential e(rate);
+    std::vector<double> xs;
+    xs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        xs.push_back(e.sample(rng));
+    return xs;
+}
+
+TEST(AdaptiveHistogramTest, RequiresCalibrationSamples)
+{
+    EXPECT_THROW(AdaptiveHistogram(std::vector<double>{}), NumericalError);
+}
+
+TEST(AdaptiveHistogramTest, RejectsBadParams)
+{
+    AdaptiveHistogram::Params p;
+    p.binCount = 1;
+    EXPECT_THROW(AdaptiveHistogram(std::vector<double>{1.0}, p),
+                 ConfigError);
+    EXPECT_THROW(AdaptiveHistogram(5.0, 5.0), ConfigError);
+}
+
+TEST(AdaptiveHistogramTest, CountsAllSamples)
+{
+    AdaptiveHistogram h({1.0, 2.0, 3.0});
+    EXPECT_EQ(h.count(), 3u);
+    h.add(2.5);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(AdaptiveHistogramTest, QuantileTracksExactForInRangeData)
+{
+    auto calib = exponentialSamples(1, 2000, 0.01);
+    AdaptiveHistogram h(calib);
+    auto data = exponentialSamples(2, 100000, 0.01);
+    std::vector<double> exact = data;
+    for (double x : data)
+        h.add(x);
+    std::sort(exact.begin(), exact.end());
+    exact.insert(exact.end(), calib.begin(), calib.end());
+    std::sort(exact.begin(), exact.end());
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double expected = quantileSorted(exact, q);
+        EXPECT_NEAR(h.quantile(q), expected, expected * 0.05)
+            << "quantile " << q;
+    }
+}
+
+TEST(AdaptiveHistogramTest, RebinsWhenTailExceedsRange)
+{
+    // Calibrate on small values, then feed much larger ones.
+    AdaptiveHistogram::Params p;
+    p.overflowTrigger = 8;
+    AdaptiveHistogram h({1.0, 2.0, 3.0, 4.0}, p);
+    const double hi0 = h.upperBound();
+    for (int i = 0; i < 100; ++i)
+        h.add(50.0 + i);
+    EXPECT_GT(h.rebinCount(), 0u);
+    EXPECT_GT(h.upperBound(), hi0);
+    EXPECT_GE(h.upperBound(), 149.0);
+    EXPECT_EQ(h.count(), 104u);
+}
+
+TEST(AdaptiveHistogramTest, QuantileCorrectAcrossRebinning)
+{
+    AdaptiveHistogram::Params p;
+    p.binCount = 2048;
+    p.overflowTrigger = 32;
+    // Calibrate at low utilization then observe a 10x heavier tail,
+    // the scenario that breaks statically binned histograms.
+    auto calib = exponentialSamples(3, 1000, 1.0);
+    AdaptiveHistogram h(calib, p);
+    auto data = exponentialSamples(4, 50000, 0.1);
+    std::vector<double> exact = calib;
+    for (double x : data) {
+        h.add(x);
+        exact.push_back(x);
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double q : {0.5, 0.9, 0.99}) {
+        const double expected = quantileSorted(exact, q);
+        EXPECT_NEAR(h.quantile(q), expected, expected * 0.06)
+            << "quantile " << q;
+    }
+    EXPECT_GT(h.rebinCount(), 0u);
+}
+
+TEST(AdaptiveHistogramTest, PendingOverflowIncludedInQuantile)
+{
+    AdaptiveHistogram::Params p;
+    p.overflowTrigger = 1000; // never triggers in this test
+    AdaptiveHistogram h({1.0, 2.0}, p);
+    // Two huge values park in the overflow buffer.
+    h.add(100.0);
+    h.add(200.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 200.0);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(AdaptiveHistogramTest, MeanApproximatesSampleMean)
+{
+    auto calib = exponentialSamples(5, 500, 0.02);
+    AdaptiveHistogram h(calib);
+    auto data = exponentialSamples(6, 50000, 0.02);
+    Summary s;
+    for (double x : calib)
+        s.add(x);
+    for (double x : data) {
+        h.add(x);
+        s.add(x);
+    }
+    EXPECT_NEAR(h.mean(), s.mean(), s.mean() * 0.02);
+}
+
+TEST(AdaptiveHistogramTest, CdfIsMonotone)
+{
+    auto calib = exponentialSamples(7, 1000, 0.01);
+    AdaptiveHistogram h(calib);
+    for (double x : exponentialSamples(8, 20000, 0.01))
+        h.add(x);
+    double prev = -1.0;
+    for (double x = 0.0; x < 600.0; x += 10.0) {
+        const double c = h.cdf(x);
+        EXPECT_GE(c, prev);
+        EXPECT_GE(c, 0.0);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+    EXPECT_NEAR(h.cdf(1e9), 1.0, 1e-12);
+}
+
+TEST(AdaptiveHistogramTest, MergePreservesMassAndShape)
+{
+    auto a = exponentialSamples(9, 20000, 0.01);
+    auto b = exponentialSamples(10, 20000, 0.01);
+    AdaptiveHistogram ha(a);
+    AdaptiveHistogram hb(b);
+    const auto totalBefore = ha.count() + hb.count();
+    ha.merge(hb);
+    EXPECT_EQ(ha.count(), totalBefore);
+    std::vector<double> all = a;
+    all.insert(all.end(), b.begin(), b.end());
+    std::sort(all.begin(), all.end());
+    const double expected = quantileSorted(all, 0.95);
+    EXPECT_NEAR(ha.quantile(0.95), expected, expected * 0.08);
+}
+
+TEST(AdaptiveHistogramTest, UnderflowClampsIntoFirstBin)
+{
+    AdaptiveHistogram h(std::vector<double>{10.0, 20.0});
+    h.add(0.1); // below lo = 5.0
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_LE(h.quantile(0.0), 10.0);
+}
+
+TEST(AdaptiveHistogramTest, ExplicitBoundsConstructor)
+{
+    AdaptiveHistogram h(0.0, 100.0);
+    EXPECT_DOUBLE_EQ(h.lowerBound(), 0.0);
+    EXPECT_DOUBLE_EQ(h.upperBound(), 100.0);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+}
+
+TEST(AdaptiveHistogramTest, EmptyQuantileThrows)
+{
+    AdaptiveHistogram h(0.0, 10.0);
+    EXPECT_THROW(h.quantile(0.5), NumericalError);
+}
+
+TEST(StaticHistogramTest, ClampsTailAndUnderestimatesQuantiles)
+{
+    // The pitfall the paper describes: a histogram calibrated for low
+    // load caps the measured tail when load (and latency) grows.
+    StaticHistogram h(0.0, 100.0, 100);
+    auto data = exponentialSamples(11, 50000, 0.02); // mean 50
+    std::vector<double> exact = data;
+    for (double x : data)
+        h.add(x);
+    std::sort(exact.begin(), exact.end());
+    const double trueP99 = quantileSorted(exact, 0.99);
+    EXPECT_GT(trueP99, 150.0);          // true tail extends past range
+    EXPECT_LE(h.quantile(0.99), 100.0); // static histogram caps it
+    EXPECT_GT(h.clampedHigh(), 0u);
+}
+
+TEST(StaticHistogramTest, AccurateWhenRangeCoversData)
+{
+    StaticHistogram h(0.0, 1000.0, 2000);
+    auto data = exponentialSamples(12, 50000, 0.05);
+    std::vector<double> exact = data;
+    for (double x : data)
+        h.add(x);
+    std::sort(exact.begin(), exact.end());
+    const double expected = quantileSorted(exact, 0.95);
+    EXPECT_NEAR(h.quantile(0.95), expected, expected * 0.05);
+}
+
+TEST(StaticHistogramTest, CdfBounds)
+{
+    StaticHistogram h(0.0, 10.0, 10);
+    h.add(5.0);
+    EXPECT_DOUBLE_EQ(h.cdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdf(10.0), 1.0);
+}
+
+TEST(StaticHistogramTest, RejectsBadConstruction)
+{
+    EXPECT_THROW(StaticHistogram(0.0, 10.0, 1), ConfigError);
+    EXPECT_THROW(StaticHistogram(10.0, 0.0, 10), ConfigError);
+}
+
+} // namespace
+} // namespace stats
+} // namespace treadmill

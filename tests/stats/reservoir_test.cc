@@ -1,0 +1,65 @@
+/** @file Unit tests for the reservoir sampler. */
+
+#include "stats/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace treadmill {
+namespace stats {
+namespace {
+
+TEST(ReservoirTest, RejectsZeroCapacity)
+{
+    EXPECT_THROW(ReservoirSampler(0, Rng(1)), ConfigError);
+}
+
+TEST(ReservoirTest, KeepsEverythingBelowCapacity)
+{
+    ReservoirSampler r(10, Rng(1));
+    for (int i = 0; i < 5; ++i)
+        r.add(static_cast<double>(i));
+    EXPECT_EQ(r.samples().size(), 5u);
+    EXPECT_EQ(r.seen(), 5u);
+}
+
+TEST(ReservoirTest, CapsAtCapacity)
+{
+    ReservoirSampler r(100, Rng(2));
+    for (int i = 0; i < 10000; ++i)
+        r.add(static_cast<double>(i));
+    EXPECT_EQ(r.samples().size(), 100u);
+    EXPECT_EQ(r.seen(), 10000u);
+}
+
+TEST(ReservoirTest, SampleIsApproximatelyUniform)
+{
+    // Offer 0..9999; the retained mean should approximate the stream
+    // mean across repeated reservoirs.
+    Summary means;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        ReservoirSampler r(200, Rng(seed));
+        for (int i = 0; i < 10000; ++i)
+            r.add(static_cast<double>(i));
+        EXPECT_EQ(r.samples().size(), 200u);
+        means.add(stats::mean(r.samples()));
+    }
+    EXPECT_NEAR(means.mean(), 4999.5, 150.0);
+}
+
+TEST(ReservoirTest, DeterministicForSameSeed)
+{
+    ReservoirSampler a(50, Rng(7));
+    ReservoirSampler b(50, Rng(7));
+    for (int i = 0; i < 5000; ++i) {
+        a.add(static_cast<double>(i));
+        b.add(static_cast<double>(i));
+    }
+    EXPECT_EQ(a.samples(), b.samples());
+}
+
+} // namespace
+} // namespace stats
+} // namespace treadmill

@@ -1,0 +1,155 @@
+/** @file Unit tests for streaming summaries and sample quantiles. */
+
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace stats {
+namespace {
+
+TEST(SummaryTest, EmptySummaryIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, SingleValue)
+{
+    Summary s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SummaryTest, KnownMoments)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, MergeMatchesSequential)
+{
+    Rng rng(1);
+    Normal n(3.0, 2.0);
+    Summary whole;
+    Summary left;
+    Summary right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = n.sample(rng);
+        whole.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(SummaryTest, MergeWithEmptyIsIdentity)
+{
+    Summary a;
+    a.add(1.0);
+    a.add(2.0);
+    Summary empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    Summary b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(QuantileTest, MedianOfOddSample)
+{
+    EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenPoints)
+{
+    // R type-7 on {1,2,3,4}: q=0.5 -> 2.5.
+    EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(QuantileTest, ExtremesAreMinMax)
+{
+    const std::vector<double> xs{5.0, 1.0, 9.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(QuantileTest, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(QuantileTest, RejectsEmptyAndBadOrder)
+{
+    EXPECT_THROW(quantile({}, 0.5), NumericalError);
+    EXPECT_THROW(quantile({1.0}, 1.5), NumericalError);
+    EXPECT_THROW(quantile({1.0}, -0.1), NumericalError);
+}
+
+TEST(QuantileTest, MonotoneInQ)
+{
+    Rng rng(2);
+    Exponential e(1.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(e.sample(rng));
+    std::sort(xs.begin(), xs.end());
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double v = quantileSorted(xs, q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(QuantileTest, ExponentialQuantilesMatchTheory)
+{
+    Rng rng(3);
+    Exponential e(2.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 400000; ++i)
+        xs.push_back(e.sample(rng));
+    std::sort(xs.begin(), xs.end());
+    // Q(q) = -ln(1-q)/lambda.
+    EXPECT_NEAR(quantileSorted(xs, 0.5), std::log(2.0) / 2.0, 0.01);
+    EXPECT_NEAR(quantileSorted(xs, 0.99), -std::log(0.01) / 2.0, 0.1);
+}
+
+TEST(HelperTest, MeanMedianStddev)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 100.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 22.0);
+    EXPECT_DOUBLE_EQ(median(xs), 3.0);
+    EXPECT_GT(stddev(xs), 40.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace treadmill

@@ -1,0 +1,119 @@
+/** @file Randomized round-trip and robustness tests for the JSON
+ *  layer: any value the model can build must survive dump -> parse. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace json {
+namespace {
+
+/** Build a random JSON value of bounded depth. */
+Value
+randomValue(Rng &rng, int depth)
+{
+    const std::uint64_t kind = rng.nextBelow(depth > 0 ? 6 : 4);
+    switch (kind) {
+      case 0:
+        return Value(nullptr);
+      case 1:
+        return Value(rng.nextBelow(2) == 1);
+      case 2: {
+        // Mix integers and fractional values.
+        const double magnitude =
+            static_cast<double>(rng.nextBelow(1000000));
+        return rng.nextBelow(2) == 0
+                   ? Value(magnitude)
+                   : Value(magnitude / 128.0 - 3000.0);
+      }
+      case 3: {
+        std::string s;
+        const std::uint64_t len = rng.nextBelow(12);
+        for (std::uint64_t i = 0; i < len; ++i) {
+            // Include characters that need escaping.
+            static const char alphabet[] =
+                "abc XYZ\"\\\n\t/09{}[]:,";
+            s += alphabet[rng.nextBelow(sizeof(alphabet) - 1)];
+        }
+        return Value(std::move(s));
+      }
+      case 4: {
+        Array arr;
+        const std::uint64_t len = rng.nextBelow(5);
+        for (std::uint64_t i = 0; i < len; ++i)
+            arr.push_back(randomValue(rng, depth - 1));
+        return Value(std::move(arr));
+      }
+      default: {
+        Object obj;
+        const std::uint64_t len = rng.nextBelow(5);
+        for (std::uint64_t i = 0; i < len; ++i) {
+            obj["k" + std::to_string(rng.nextBelow(100))] =
+                randomValue(rng, depth - 1);
+        }
+        return Value(std::move(obj));
+      }
+    }
+}
+
+TEST(JsonFuzzTest, RandomValuesRoundTripCompact)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 300; ++trial) {
+        const Value v = randomValue(rng, 4);
+        EXPECT_EQ(parse(v.dump()), v) << v.dump();
+    }
+}
+
+TEST(JsonFuzzTest, RandomValuesRoundTripPretty)
+{
+    Rng rng(4048);
+    for (int trial = 0; trial < 150; ++trial) {
+        const Value v = randomValue(rng, 3);
+        EXPECT_EQ(parse(v.dumpPretty()), v) << v.dumpPretty();
+    }
+}
+
+TEST(JsonFuzzTest, TruncatedDocumentsNeverCrash)
+{
+    Rng rng(11);
+    const Value v = randomValue(rng, 4);
+    const std::string text = v.dump();
+    for (std::size_t cut = 0; cut < text.size(); ++cut) {
+        const std::string prefix = text.substr(0, cut);
+        try {
+            const Value parsed = parse(prefix);
+            // A shorter prefix may still be valid JSON ("1" from
+            // "12"); that is acceptable.
+            (void)parsed;
+        } catch (const ConfigError &) {
+            // Expected for most truncations.
+        }
+    }
+}
+
+TEST(JsonFuzzTest, GarbagePrefixesRejected)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string garbage;
+        const std::uint64_t len = 1 + rng.nextBelow(20);
+        for (std::uint64_t i = 0; i < len; ++i)
+            garbage += static_cast<char>(33 + rng.nextBelow(90));
+        try {
+            (void)parse(garbage);
+        } catch (const ConfigError &) {
+            // Rejection is the common, correct outcome; the test is
+            // that no other failure mode (crash, hang) occurs.
+        }
+    }
+}
+
+} // namespace
+} // namespace json
+} // namespace treadmill

@@ -1,0 +1,46 @@
+/** @file Unit tests for logging level gating. */
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace treadmill {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(original);
+}
+
+TEST(LoggingTest, EmittingAtQuietDoesNotCrash)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    inform("should be suppressed");
+    warn("should be suppressed");
+    debug("should be suppressed");
+    setLogLevel(original);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional"), "panic: intentional");
+}
+
+TEST(LoggingDeathTest, AssertMacroAborts)
+{
+    EXPECT_DEATH(TM_ASSERT(1 == 2, "math broke"), "assertion failed");
+}
+
+TEST(LoggingTest, AssertMacroPassesQuietly)
+{
+    TM_ASSERT(1 == 1, "fine");
+}
+
+} // namespace
+} // namespace treadmill

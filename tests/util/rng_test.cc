@@ -1,0 +1,149 @@
+/** @file Unit tests for the xoshiro256** RNG wrapper. */
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace treadmill {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsProduceDifferentStreams)
+{
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() != b.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 32; ++i)
+        seen.insert(rng.next());
+    EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.nextDouble();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.nextDoublePositive();
+        EXPECT_GT(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(RngTest, NextDoubleMeanIsAboutHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBelowStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowIsApproximatelyUniform)
+{
+    Rng rng(13);
+    const std::uint64_t k = 8;
+    std::vector<int> counts(k, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBelow(k)];
+    for (std::uint64_t i = 0; i < k; ++i)
+        EXPECT_NEAR(counts[i], n / static_cast<int>(k), n / 100);
+}
+
+TEST(RngTest, SubstreamsAreIndependent)
+{
+    Rng base(99);
+    Rng s1 = base.substream(1);
+    Rng s2 = base.substream(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (s1.next() != s2.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, SubstreamIsDeterministic)
+{
+    Rng base(99);
+    Rng s1 = base.substream(5);
+    Rng s2 = base.substream(5);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(s1.next(), s2.next());
+}
+
+TEST(RngTest, SubstreamDoesNotAdvanceParent)
+{
+    Rng a(123);
+    Rng b(123);
+    (void)a.substream(7);
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator)
+{
+    EXPECT_EQ(Rng::min(), 0u);
+    EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+    Rng rng(1);
+    const std::uint64_t v = rng();
+    (void)v;
+}
+
+TEST(SplitMix64Test, KnownSequenceAdvances)
+{
+    std::uint64_t state = 0;
+    const std::uint64_t first = splitmix64(state);
+    const std::uint64_t second = splitmix64(state);
+    EXPECT_NE(first, second);
+    // Reference value for seed 0 from the SplitMix64 reference code.
+    std::uint64_t check = 0;
+    EXPECT_EQ(splitmix64(check), 0xe220a8397b1dcdafull);
+}
+
+} // namespace
+} // namespace treadmill

@@ -1,0 +1,56 @@
+/** @file Unit tests for string helpers. */
+
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace treadmill {
+namespace {
+
+TEST(StrPrintfTest, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strprintf("%.2f us", 3.14159), "3.14 us");
+    EXPECT_EQ(strprintf("%s", "plain"), "plain");
+    EXPECT_EQ(strprintf("empty:%s", ""), "empty:");
+}
+
+TEST(StrPrintfTest, HandlesLongOutput)
+{
+    const std::string big(500, 'x');
+    EXPECT_EQ(strprintf("%s!", big.c_str()), big + "!");
+}
+
+TEST(SplitTest, SplitsAndKeepsEmptyFields)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinTest, JoinsWithSeparator)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ":"), "a:b:c");
+    EXPECT_EQ(join({"solo"}, ":"), "solo");
+    EXPECT_EQ(join({}, ":"), "");
+}
+
+TEST(SplitJoinTest, RoundTrips)
+{
+    const std::string s = "numa:turbo:dvfs:nic";
+    EXPECT_EQ(join(split(s, ':'), ":"), s);
+}
+
+TEST(PadTest, PadsToWidth)
+{
+    EXPECT_EQ(padLeft("42", 5), "   42");
+    EXPECT_EQ(padRight("42", 5), "42   ");
+    EXPECT_EQ(padLeft("longer", 3), "longer");
+    EXPECT_EQ(padRight("longer", 3), "longer");
+}
+
+} // namespace
+} // namespace treadmill

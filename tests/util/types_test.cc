@@ -1,0 +1,38 @@
+/** @file Unit tests for simulated-time helpers. */
+
+#include "util/types.h"
+
+#include <gtest/gtest.h>
+
+namespace treadmill {
+namespace {
+
+TEST(TypesTest, DurationConstructors)
+{
+    EXPECT_EQ(nanoseconds(1), 1u);
+    EXPECT_EQ(microseconds(1), 1000u);
+    EXPECT_EQ(milliseconds(1), 1000000u);
+    EXPECT_EQ(seconds(1), 1000000000u);
+}
+
+TEST(TypesTest, FractionalDurations)
+{
+    EXPECT_EQ(microseconds(0.5), 500u);
+    EXPECT_EQ(milliseconds(2.5), 2500000u);
+}
+
+TEST(TypesTest, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toMicros(microseconds(125)), 125.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(3)), 3.0);
+    EXPECT_DOUBLE_EQ(toMicros(nanoseconds(1500)), 1.5);
+}
+
+TEST(TypesTest, RoundTripIsExactForWholeUnits)
+{
+    for (double us : {1.0, 10.0, 100.0, 12345.0})
+        EXPECT_DOUBLE_EQ(toMicros(microseconds(us)), us);
+}
+
+} // namespace
+} // namespace treadmill

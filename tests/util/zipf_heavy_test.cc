@@ -1,0 +1,80 @@
+/** @file Property tests for Zipf across the skew range, including the
+ *  super-critical s > 1 regime used by production-like workloads. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random_variates.h"
+#include "util/rng.h"
+
+namespace treadmill {
+namespace {
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewSweep, SupportAndMonotonicity)
+{
+    const double s = GetParam();
+    Rng rng(99);
+    Zipf zipf(1000, s);
+    std::vector<int> counts(1000, 0);
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) {
+        const auto k = zipf.sample(rng);
+        ASSERT_LT(k, 1000u);
+        ++counts[k];
+    }
+    // Per-rank popularity decreases across decades of rank (for
+    // Zipf the decade *mass* grows with n^(1-s), but the per-rank
+    // average must fall).
+    const auto perRank = [&](std::size_t lo, std::size_t hi) {
+        double total = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            total += counts[i];
+        return total / static_cast<double>(hi - lo);
+    };
+    EXPECT_GT(perRank(0, 10), perRank(10, 100));
+    EXPECT_GT(perRank(10, 100), perRank(100, 1000));
+}
+
+TEST_P(ZipfSkewSweep, HeadShareGrowsWithSkew)
+{
+    const double s = GetParam();
+    Rng rng(7);
+    Zipf zipf(10000, s);
+    int head = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        head += zipf.sample(rng) < 100 ? 1 : 0;
+    const double share = static_cast<double>(head) / n;
+    // The top 1% of keys get at least their uniform share, and
+    // dramatically more at high skew.
+    EXPECT_GT(share, 0.01);
+    if (s > 1.0) {
+        EXPECT_GT(share, 0.5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.5, 0.8, 0.99, 1.01, 1.2));
+
+TEST(ZipfHeavyTest, TinySupport)
+{
+    Rng rng(1);
+    Zipf zipf(1, 0.9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+
+    Zipf two(2, 0.9);
+    int zeros = 0;
+    for (int i = 0; i < 2000; ++i)
+        zeros += two.sample(rng) == 0 ? 1 : 0;
+    EXPECT_GT(zeros, 1000); // rank 0 more popular
+    EXPECT_LT(zeros, 2000); // but rank 1 still drawn
+}
+
+} // namespace
+} // namespace treadmill
