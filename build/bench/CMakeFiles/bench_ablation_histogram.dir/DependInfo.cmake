@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_histogram.cc" "bench/CMakeFiles/bench_ablation_histogram.dir/bench_ablation_histogram.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_histogram.dir/bench_ablation_histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/treadmill_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treadmill_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/treadmill_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/treadmill_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/treadmill_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/treadmill_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/treadmill_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/treadmill_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treadmill_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

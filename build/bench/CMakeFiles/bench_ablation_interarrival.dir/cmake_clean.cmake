@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interarrival.dir/bench_ablation_interarrival.cc.o"
+  "CMakeFiles/bench_ablation_interarrival.dir/bench_ablation_interarrival.cc.o.d"
+  "bench_ablation_interarrival"
+  "bench_ablation_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

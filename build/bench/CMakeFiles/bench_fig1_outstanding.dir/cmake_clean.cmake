@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_outstanding.dir/bench_fig1_outstanding.cc.o"
+  "CMakeFiles/bench_fig1_outstanding.dir/bench_fig1_outstanding.cc.o.d"
+  "bench_fig1_outstanding"
+  "bench_fig1_outstanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_outstanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

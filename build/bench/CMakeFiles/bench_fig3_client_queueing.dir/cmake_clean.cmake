@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_client_queueing.dir/bench_fig3_client_queueing.cc.o"
+  "CMakeFiles/bench_fig3_client_queueing.dir/bench_fig3_client_queueing.cc.o.d"
+  "bench_fig3_client_queueing"
+  "bench_fig3_client_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_client_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_client_queueing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_memcached_configs.dir/bench_fig7_memcached_configs.cc.o"
+  "CMakeFiles/bench_fig7_memcached_configs.dir/bench_fig7_memcached_configs.cc.o.d"
+  "bench_fig7_memcached_configs"
+  "bench_fig7_memcached_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_memcached_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

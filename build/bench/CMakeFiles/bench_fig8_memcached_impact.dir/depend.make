@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_memcached_impact.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mcrouter_configs.dir/bench_fig9_mcrouter_configs.cc.o"
+  "CMakeFiles/bench_fig9_mcrouter_configs.dir/bench_fig9_mcrouter_configs.cc.o.d"
+  "bench_fig9_mcrouter_configs"
+  "bench_fig9_mcrouter_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mcrouter_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

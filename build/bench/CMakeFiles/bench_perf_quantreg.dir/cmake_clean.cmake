@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_quantreg.dir/bench_perf_quantreg.cc.o"
+  "CMakeFiles/bench_perf_quantreg.dir/bench_perf_quantreg.cc.o.d"
+  "bench_perf_quantreg"
+  "bench_perf_quantreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_quantreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_stats.dir/bench_perf_stats.cc.o"
+  "CMakeFiles/bench_perf_stats.dir/bench_perf_stats.cc.o.d"
+  "bench_perf_stats"
+  "bench_perf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

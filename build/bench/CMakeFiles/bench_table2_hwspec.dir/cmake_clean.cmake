@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hwspec.dir/bench_table2_hwspec.cc.o"
+  "CMakeFiles/bench_table2_hwspec.dir/bench_table2_hwspec.cc.o.d"
+  "bench_table2_hwspec"
+  "bench_table2_hwspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hwspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_factors.dir/bench_table3_factors.cc.o"
+  "CMakeFiles/bench_table3_factors.dir/bench_table3_factors.cc.o.d"
+  "bench_table3_factors"
+  "bench_table3_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_quantreg.dir/bench_table4_quantreg.cc.o"
+  "CMakeFiles/bench_table4_quantreg.dir/bench_table4_quantreg.cc.o.d"
+  "bench_table4_quantreg"
+  "bench_table4_quantreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_quantreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

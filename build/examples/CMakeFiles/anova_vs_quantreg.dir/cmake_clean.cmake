@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anova_vs_quantreg.dir/anova_vs_quantreg.cpp.o"
+  "CMakeFiles/anova_vs_quantreg.dir/anova_vs_quantreg.cpp.o.d"
+  "anova_vs_quantreg"
+  "anova_vs_quantreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anova_vs_quantreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

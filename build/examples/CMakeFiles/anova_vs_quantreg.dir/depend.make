@@ -1,0 +1,2 @@
+# Empty dependencies file for anova_vs_quantreg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribution_study.dir/attribution_study.cpp.o"
+  "CMakeFiles/attribution_study.dir/attribution_study.cpp.o.d"
+  "attribution_study"
+  "attribution_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribution_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrouter_study.dir/mcrouter_study.cpp.o"
+  "CMakeFiles/mcrouter_study.dir/mcrouter_study.cpp.o.d"
+  "mcrouter_study"
+  "mcrouter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrouter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_demo.dir/pitfalls_demo.cpp.o"
+  "CMakeFiles/pitfalls_demo.dir/pitfalls_demo.cpp.o.d"
+  "pitfalls_demo"
+  "pitfalls_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/attribution.cc" "src/analysis/CMakeFiles/treadmill_analysis.dir/attribution.cc.o" "gcc" "src/analysis/CMakeFiles/treadmill_analysis.dir/attribution.cc.o.d"
+  "/root/repo/src/analysis/capacity.cc" "src/analysis/CMakeFiles/treadmill_analysis.dir/capacity.cc.o" "gcc" "src/analysis/CMakeFiles/treadmill_analysis.dir/capacity.cc.o.d"
+  "/root/repo/src/analysis/export.cc" "src/analysis/CMakeFiles/treadmill_analysis.dir/export.cc.o" "gcc" "src/analysis/CMakeFiles/treadmill_analysis.dir/export.cc.o.d"
+  "/root/repo/src/analysis/recommend.cc" "src/analysis/CMakeFiles/treadmill_analysis.dir/recommend.cc.o" "gcc" "src/analysis/CMakeFiles/treadmill_analysis.dir/recommend.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/treadmill_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/treadmill_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/screening.cc" "src/analysis/CMakeFiles/treadmill_analysis.dir/screening.cc.o" "gcc" "src/analysis/CMakeFiles/treadmill_analysis.dir/screening.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treadmill_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/treadmill_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/treadmill_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/treadmill_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/treadmill_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treadmill_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/treadmill_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/treadmill_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

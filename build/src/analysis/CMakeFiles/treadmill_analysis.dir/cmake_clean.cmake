@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_analysis.dir/attribution.cc.o"
+  "CMakeFiles/treadmill_analysis.dir/attribution.cc.o.d"
+  "CMakeFiles/treadmill_analysis.dir/capacity.cc.o"
+  "CMakeFiles/treadmill_analysis.dir/capacity.cc.o.d"
+  "CMakeFiles/treadmill_analysis.dir/export.cc.o"
+  "CMakeFiles/treadmill_analysis.dir/export.cc.o.d"
+  "CMakeFiles/treadmill_analysis.dir/recommend.cc.o"
+  "CMakeFiles/treadmill_analysis.dir/recommend.cc.o.d"
+  "CMakeFiles/treadmill_analysis.dir/report.cc.o"
+  "CMakeFiles/treadmill_analysis.dir/report.cc.o.d"
+  "CMakeFiles/treadmill_analysis.dir/screening.cc.o"
+  "CMakeFiles/treadmill_analysis.dir/screening.cc.o.d"
+  "libtreadmill_analysis.a"
+  "libtreadmill_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/treadmill_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/treadmill_core.dir/client.cc.o.d"
+  "/root/repo/src/core/collector.cc" "src/core/CMakeFiles/treadmill_core.dir/collector.cc.o" "gcc" "src/core/CMakeFiles/treadmill_core.dir/collector.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/treadmill_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/treadmill_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/treadmill_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/treadmill_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/tester_spec.cc" "src/core/CMakeFiles/treadmill_core.dir/tester_spec.cc.o" "gcc" "src/core/CMakeFiles/treadmill_core.dir/tester_spec.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/treadmill_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/treadmill_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/treadmill_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/treadmill_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/treadmill_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/treadmill_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/treadmill_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treadmill_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_core.dir/client.cc.o"
+  "CMakeFiles/treadmill_core.dir/client.cc.o.d"
+  "CMakeFiles/treadmill_core.dir/collector.cc.o"
+  "CMakeFiles/treadmill_core.dir/collector.cc.o.d"
+  "CMakeFiles/treadmill_core.dir/controller.cc.o"
+  "CMakeFiles/treadmill_core.dir/controller.cc.o.d"
+  "CMakeFiles/treadmill_core.dir/experiment.cc.o"
+  "CMakeFiles/treadmill_core.dir/experiment.cc.o.d"
+  "CMakeFiles/treadmill_core.dir/tester_spec.cc.o"
+  "CMakeFiles/treadmill_core.dir/tester_spec.cc.o.d"
+  "CMakeFiles/treadmill_core.dir/workload.cc.o"
+  "CMakeFiles/treadmill_core.dir/workload.cc.o.d"
+  "libtreadmill_core.a"
+  "libtreadmill_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

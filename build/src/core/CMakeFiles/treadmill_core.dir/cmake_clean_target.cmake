@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreadmill_core.a"
+)

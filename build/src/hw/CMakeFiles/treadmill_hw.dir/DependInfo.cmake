@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/core.cc" "src/hw/CMakeFiles/treadmill_hw.dir/core.cc.o" "gcc" "src/hw/CMakeFiles/treadmill_hw.dir/core.cc.o.d"
+  "/root/repo/src/hw/frequency.cc" "src/hw/CMakeFiles/treadmill_hw.dir/frequency.cc.o" "gcc" "src/hw/CMakeFiles/treadmill_hw.dir/frequency.cc.o.d"
+  "/root/repo/src/hw/hardware_config.cc" "src/hw/CMakeFiles/treadmill_hw.dir/hardware_config.cc.o" "gcc" "src/hw/CMakeFiles/treadmill_hw.dir/hardware_config.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/treadmill_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/treadmill_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/treadmill_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/treadmill_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/placement.cc" "src/hw/CMakeFiles/treadmill_hw.dir/placement.cc.o" "gcc" "src/hw/CMakeFiles/treadmill_hw.dir/placement.cc.o.d"
+  "/root/repo/src/hw/thermal.cc" "src/hw/CMakeFiles/treadmill_hw.dir/thermal.cc.o" "gcc" "src/hw/CMakeFiles/treadmill_hw.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/treadmill_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treadmill_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

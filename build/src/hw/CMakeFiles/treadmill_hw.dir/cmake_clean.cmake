@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_hw.dir/core.cc.o"
+  "CMakeFiles/treadmill_hw.dir/core.cc.o.d"
+  "CMakeFiles/treadmill_hw.dir/frequency.cc.o"
+  "CMakeFiles/treadmill_hw.dir/frequency.cc.o.d"
+  "CMakeFiles/treadmill_hw.dir/hardware_config.cc.o"
+  "CMakeFiles/treadmill_hw.dir/hardware_config.cc.o.d"
+  "CMakeFiles/treadmill_hw.dir/machine.cc.o"
+  "CMakeFiles/treadmill_hw.dir/machine.cc.o.d"
+  "CMakeFiles/treadmill_hw.dir/nic.cc.o"
+  "CMakeFiles/treadmill_hw.dir/nic.cc.o.d"
+  "CMakeFiles/treadmill_hw.dir/placement.cc.o"
+  "CMakeFiles/treadmill_hw.dir/placement.cc.o.d"
+  "CMakeFiles/treadmill_hw.dir/thermal.cc.o"
+  "CMakeFiles/treadmill_hw.dir/thermal.cc.o.d"
+  "libtreadmill_hw.a"
+  "libtreadmill_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_net.dir/capture.cc.o"
+  "CMakeFiles/treadmill_net.dir/capture.cc.o.d"
+  "CMakeFiles/treadmill_net.dir/link.cc.o"
+  "CMakeFiles/treadmill_net.dir/link.cc.o.d"
+  "CMakeFiles/treadmill_net.dir/topology.cc.o"
+  "CMakeFiles/treadmill_net.dir/topology.cc.o.d"
+  "libtreadmill_net.a"
+  "libtreadmill_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regress/design.cc" "src/regress/CMakeFiles/treadmill_regress.dir/design.cc.o" "gcc" "src/regress/CMakeFiles/treadmill_regress.dir/design.cc.o.d"
+  "/root/repo/src/regress/inference.cc" "src/regress/CMakeFiles/treadmill_regress.dir/inference.cc.o" "gcc" "src/regress/CMakeFiles/treadmill_regress.dir/inference.cc.o.d"
+  "/root/repo/src/regress/matrix.cc" "src/regress/CMakeFiles/treadmill_regress.dir/matrix.cc.o" "gcc" "src/regress/CMakeFiles/treadmill_regress.dir/matrix.cc.o.d"
+  "/root/repo/src/regress/ols.cc" "src/regress/CMakeFiles/treadmill_regress.dir/ols.cc.o" "gcc" "src/regress/CMakeFiles/treadmill_regress.dir/ols.cc.o.d"
+  "/root/repo/src/regress/pseudo_r2.cc" "src/regress/CMakeFiles/treadmill_regress.dir/pseudo_r2.cc.o" "gcc" "src/regress/CMakeFiles/treadmill_regress.dir/pseudo_r2.cc.o.d"
+  "/root/repo/src/regress/quantreg.cc" "src/regress/CMakeFiles/treadmill_regress.dir/quantreg.cc.o" "gcc" "src/regress/CMakeFiles/treadmill_regress.dir/quantreg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/treadmill_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treadmill_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

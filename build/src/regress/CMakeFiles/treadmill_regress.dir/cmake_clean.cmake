@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_regress.dir/design.cc.o"
+  "CMakeFiles/treadmill_regress.dir/design.cc.o.d"
+  "CMakeFiles/treadmill_regress.dir/inference.cc.o"
+  "CMakeFiles/treadmill_regress.dir/inference.cc.o.d"
+  "CMakeFiles/treadmill_regress.dir/matrix.cc.o"
+  "CMakeFiles/treadmill_regress.dir/matrix.cc.o.d"
+  "CMakeFiles/treadmill_regress.dir/ols.cc.o"
+  "CMakeFiles/treadmill_regress.dir/ols.cc.o.d"
+  "CMakeFiles/treadmill_regress.dir/pseudo_r2.cc.o"
+  "CMakeFiles/treadmill_regress.dir/pseudo_r2.cc.o.d"
+  "CMakeFiles/treadmill_regress.dir/quantreg.cc.o"
+  "CMakeFiles/treadmill_regress.dir/quantreg.cc.o.d"
+  "libtreadmill_regress.a"
+  "libtreadmill_regress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

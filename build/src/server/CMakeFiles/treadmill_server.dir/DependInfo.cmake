@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/kvstore.cc" "src/server/CMakeFiles/treadmill_server.dir/kvstore.cc.o" "gcc" "src/server/CMakeFiles/treadmill_server.dir/kvstore.cc.o.d"
+  "/root/repo/src/server/mcrouter.cc" "src/server/CMakeFiles/treadmill_server.dir/mcrouter.cc.o" "gcc" "src/server/CMakeFiles/treadmill_server.dir/mcrouter.cc.o.d"
+  "/root/repo/src/server/memcached.cc" "src/server/CMakeFiles/treadmill_server.dir/memcached.cc.o" "gcc" "src/server/CMakeFiles/treadmill_server.dir/memcached.cc.o.d"
+  "/root/repo/src/server/sqlish.cc" "src/server/CMakeFiles/treadmill_server.dir/sqlish.cc.o" "gcc" "src/server/CMakeFiles/treadmill_server.dir/sqlish.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/treadmill_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/treadmill_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/treadmill_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treadmill_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

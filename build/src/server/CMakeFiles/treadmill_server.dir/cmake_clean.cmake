@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_server.dir/kvstore.cc.o"
+  "CMakeFiles/treadmill_server.dir/kvstore.cc.o.d"
+  "CMakeFiles/treadmill_server.dir/mcrouter.cc.o"
+  "CMakeFiles/treadmill_server.dir/mcrouter.cc.o.d"
+  "CMakeFiles/treadmill_server.dir/memcached.cc.o"
+  "CMakeFiles/treadmill_server.dir/memcached.cc.o.d"
+  "CMakeFiles/treadmill_server.dir/sqlish.cc.o"
+  "CMakeFiles/treadmill_server.dir/sqlish.cc.o.d"
+  "libtreadmill_server.a"
+  "libtreadmill_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

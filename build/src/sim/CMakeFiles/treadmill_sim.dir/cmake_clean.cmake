@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_sim.dir/event_queue.cc.o"
+  "CMakeFiles/treadmill_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/treadmill_sim.dir/queueing.cc.o"
+  "CMakeFiles/treadmill_sim.dir/queueing.cc.o.d"
+  "CMakeFiles/treadmill_sim.dir/simulation.cc.o"
+  "CMakeFiles/treadmill_sim.dir/simulation.cc.o.d"
+  "libtreadmill_sim.a"
+  "libtreadmill_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/treadmill_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/treadmill_stats.dir/convergence.cc.o"
+  "CMakeFiles/treadmill_stats.dir/convergence.cc.o.d"
+  "CMakeFiles/treadmill_stats.dir/histogram.cc.o"
+  "CMakeFiles/treadmill_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/treadmill_stats.dir/hypothesis.cc.o"
+  "CMakeFiles/treadmill_stats.dir/hypothesis.cc.o.d"
+  "CMakeFiles/treadmill_stats.dir/reservoir.cc.o"
+  "CMakeFiles/treadmill_stats.dir/reservoir.cc.o.d"
+  "CMakeFiles/treadmill_stats.dir/summary.cc.o"
+  "CMakeFiles/treadmill_stats.dir/summary.cc.o.d"
+  "libtreadmill_stats.a"
+  "libtreadmill_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

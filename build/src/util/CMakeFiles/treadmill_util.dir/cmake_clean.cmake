@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treadmill_util.dir/json.cc.o"
+  "CMakeFiles/treadmill_util.dir/json.cc.o.d"
+  "CMakeFiles/treadmill_util.dir/logging.cc.o"
+  "CMakeFiles/treadmill_util.dir/logging.cc.o.d"
+  "CMakeFiles/treadmill_util.dir/random_variates.cc.o"
+  "CMakeFiles/treadmill_util.dir/random_variates.cc.o.d"
+  "CMakeFiles/treadmill_util.dir/rng.cc.o"
+  "CMakeFiles/treadmill_util.dir/rng.cc.o.d"
+  "CMakeFiles/treadmill_util.dir/strings.cc.o"
+  "CMakeFiles/treadmill_util.dir/strings.cc.o.d"
+  "libtreadmill_util.a"
+  "libtreadmill_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treadmill_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

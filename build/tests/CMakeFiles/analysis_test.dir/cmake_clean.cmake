@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/attribution_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/attribution_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/capacity_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/capacity_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/conditional_impact_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/conditional_impact_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/export_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/export_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/recommend_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/recommend_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/report_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/report_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/screening_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/screening_test.cc.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

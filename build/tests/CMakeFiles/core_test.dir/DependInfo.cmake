@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/client_test.cc" "tests/CMakeFiles/core_test.dir/core/client_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/client_test.cc.o.d"
+  "/root/repo/tests/core/collector_test.cc" "tests/CMakeFiles/core_test.dir/core/collector_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/collector_test.cc.o.d"
+  "/root/repo/tests/core/controller_test.cc" "tests/CMakeFiles/core_test.dir/core/controller_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/controller_test.cc.o.d"
+  "/root/repo/tests/core/decomposition_test.cc" "tests/CMakeFiles/core_test.dir/core/decomposition_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/decomposition_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/core_test.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/core/failure_test.cc" "tests/CMakeFiles/core_test.dir/core/failure_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/failure_test.cc.o.d"
+  "/root/repo/tests/core/tester_spec_test.cc" "tests/CMakeFiles/core_test.dir/core/tester_spec_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tester_spec_test.cc.o.d"
+  "/root/repo/tests/core/workload_test.cc" "tests/CMakeFiles/core_test.dir/core/workload_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/treadmill_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treadmill_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/treadmill_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/treadmill_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/treadmill_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/treadmill_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/treadmill_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/treadmill_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treadmill_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

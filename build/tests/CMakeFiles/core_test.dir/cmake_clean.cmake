@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/client_test.cc.o"
+  "CMakeFiles/core_test.dir/core/client_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/collector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/collector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/controller_test.cc.o"
+  "CMakeFiles/core_test.dir/core/controller_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/decomposition_test.cc.o"
+  "CMakeFiles/core_test.dir/core/decomposition_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/experiment_test.cc.o"
+  "CMakeFiles/core_test.dir/core/experiment_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/failure_test.cc.o"
+  "CMakeFiles/core_test.dir/core/failure_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tester_spec_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tester_spec_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/workload_test.cc.o"
+  "CMakeFiles/core_test.dir/core/workload_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_test.dir/hw/core_test.cc.o"
+  "CMakeFiles/hw_test.dir/hw/core_test.cc.o.d"
+  "CMakeFiles/hw_test.dir/hw/frequency_test.cc.o"
+  "CMakeFiles/hw_test.dir/hw/frequency_test.cc.o.d"
+  "CMakeFiles/hw_test.dir/hw/hardware_config_test.cc.o"
+  "CMakeFiles/hw_test.dir/hw/hardware_config_test.cc.o.d"
+  "CMakeFiles/hw_test.dir/hw/machine_test.cc.o"
+  "CMakeFiles/hw_test.dir/hw/machine_test.cc.o.d"
+  "CMakeFiles/hw_test.dir/hw/nic_test.cc.o"
+  "CMakeFiles/hw_test.dir/hw/nic_test.cc.o.d"
+  "CMakeFiles/hw_test.dir/hw/placement_test.cc.o"
+  "CMakeFiles/hw_test.dir/hw/placement_test.cc.o.d"
+  "CMakeFiles/hw_test.dir/hw/thermal_test.cc.o"
+  "CMakeFiles/hw_test.dir/hw/thermal_test.cc.o.d"
+  "hw_test"
+  "hw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

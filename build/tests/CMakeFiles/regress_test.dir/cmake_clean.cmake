@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regress_test.dir/regress/design_test.cc.o"
+  "CMakeFiles/regress_test.dir/regress/design_test.cc.o.d"
+  "CMakeFiles/regress_test.dir/regress/inference_test.cc.o"
+  "CMakeFiles/regress_test.dir/regress/inference_test.cc.o.d"
+  "CMakeFiles/regress_test.dir/regress/matrix_test.cc.o"
+  "CMakeFiles/regress_test.dir/regress/matrix_test.cc.o.d"
+  "CMakeFiles/regress_test.dir/regress/ols_test.cc.o"
+  "CMakeFiles/regress_test.dir/regress/ols_test.cc.o.d"
+  "CMakeFiles/regress_test.dir/regress/pseudo_r2_test.cc.o"
+  "CMakeFiles/regress_test.dir/regress/pseudo_r2_test.cc.o.d"
+  "CMakeFiles/regress_test.dir/regress/quantreg_test.cc.o"
+  "CMakeFiles/regress_test.dir/regress/quantreg_test.cc.o.d"
+  "regress_test"
+  "regress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

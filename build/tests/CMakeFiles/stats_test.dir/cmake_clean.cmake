@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/bootstrap_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/bootstrap_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/convergence_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/convergence_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/histogram_property_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/histogram_property_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/histogram_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/hypothesis_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/hypothesis_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/reservoir_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/reservoir_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats/summary_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats/summary_test.cc.o.d"
+  "stats_test"
+  "stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/json_fuzz_test.cc.o"
+  "CMakeFiles/util_test.dir/util/json_fuzz_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/json_test.cc.o"
+  "CMakeFiles/util_test.dir/util/json_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/logging_test.cc.o"
+  "CMakeFiles/util_test.dir/util/logging_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/random_variates_test.cc.o"
+  "CMakeFiles/util_test.dir/util/random_variates_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/rng_test.cc.o"
+  "CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/strings_test.cc.o"
+  "CMakeFiles/util_test.dir/util/strings_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/types_test.cc.o"
+  "CMakeFiles/util_test.dir/util/types_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/zipf_heavy_test.cc.o"
+  "CMakeFiles/util_test.dir/util/zipf_heavy_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
