@@ -18,6 +18,7 @@
 
 #include "analysis/attribution.h"
 #include "core/experiment.h"
+#include "exec/parallel_runner.h"
 
 namespace treadmill {
 namespace bench {
@@ -73,6 +74,27 @@ defaultAttribution(double utilization)
 /** The paper's "low load" and "high load" utilization levels. */
 inline double lowLoad() { return 0.15; }
 inline double highLoad() { return 0.65; }
+
+/**
+ * Progress reporter for parallel experiment sweeps: overwrites one
+ * status line with runs completed / total, wall-clock, and the
+ * achieved simulated-seconds-per-second throughput.
+ */
+inline exec::ProgressFn
+sweepProgress()
+{
+    return [](const exec::Progress &p) {
+        if (p.completed % 8 != 0 && p.completed != p.total)
+            return;
+        std::printf("\r  %zu/%zu experiments  %.1f s wall  "
+                    "%.1f sim-s/s   ",
+                    p.completed, p.total, p.wallSeconds,
+                    p.throughput());
+        if (p.completed == p.total)
+            std::printf("\n");
+        std::fflush(stdout);
+    };
+}
 
 } // namespace bench
 } // namespace treadmill

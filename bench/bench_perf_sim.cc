@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/experiment.h"
+#include "exec/parallel_for.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
 
@@ -32,6 +35,40 @@ BM_EventQueuePushPop(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EventQueuePushPop);
+
+/**
+ * Regression benchmark for the O(1) cancel fix: with state.range(0)
+ * pending timeout events (up to 10^5), each iteration cancels one
+ * pending event and schedules a replacement, the per-request timeout
+ * pattern. Before the fix cancel() scanned the whole heap
+ * (quadratic under load); the reported complexity must stay O(1) --
+ * per-cancel time flat as the pending count grows 100x.
+ */
+void
+BM_EventQueueCancelWithPendingTimeouts(benchmark::State &state)
+{
+    const auto pending = static_cast<std::uint64_t>(state.range(0));
+    sim::EventQueue queue;
+    std::vector<sim::EventId> ids;
+    ids.reserve(pending);
+    for (std::uint64_t i = 0; i < pending; ++i)
+        ids.push_back(queue.push((i * 7919) % 100000, [] {}));
+
+    std::uint64_t t = 0;
+    std::size_t victim = 0;
+    for (auto _ : state) {
+        // Cancel one pending timeout, then re-arm it.
+        benchmark::DoNotOptimize(queue.cancel(ids[victim]));
+        ids[victim] = queue.push((t * 104729) % 100000, [] {});
+        victim = (victim + 1) % ids.size();
+        ++t;
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EventQueueCancelWithPendingTimeouts)
+    ->RangeMultiplier(10)
+    ->Range(1000, 100000)
+    ->Complexity(benchmark::o1);
 
 void
 BM_SimulationEventChain(benchmark::State &state)
@@ -71,6 +108,47 @@ BM_FullExperiment(benchmark::State &state)
 }
 BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond)
     ->Arg(1000)->Arg(4000);
+
+/**
+ * The parallel experiment fan-out: a fixed batch of 8 seed-isolated
+ * experiments executed with state.range(0) worker threads. Comparing
+ * the timings across thread counts gives the wall-clock speedup of
+ * the ParallelRunner on this machine (the results themselves are
+ * bit-exact at every thread count; the determinism suite pins that).
+ */
+void
+BM_ExperimentBatchParallel(benchmark::State &state)
+{
+    std::vector<core::ExperimentParams> runs;
+    for (std::size_t i = 0; i < 8; ++i) {
+        core::ExperimentParams params;
+        params.targetUtilization = 0.5;
+        params.collector.warmUpSamples = 100;
+        params.collector.calibrationSamples = 100;
+        params.collector.measurementSamples = 1000;
+        params.seed = 17 + i * 101;
+        runs.push_back(std::move(params));
+    }
+    const exec::Parallelism par{
+        static_cast<unsigned>(state.range(0))};
+    double simSeconds = 0.0;
+    for (auto _ : state) {
+        const auto results = core::runExperiments(runs, par);
+        for (const auto &r : results)
+            simSeconds += toSeconds(r.simulatedTime);
+        benchmark::DoNotOptimize(results.front().achievedRps);
+    }
+    state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+        simSeconds, benchmark::Counter::kIsRate);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_ExperimentBatchParallel)
+    ->Unit(benchmark::kMillisecond)
+    // Work happens on pool threads; rate counters must divide by
+    // wall time, not the (near-idle) main thread's CPU time.
+    ->UseRealTime()
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 } // namespace
 

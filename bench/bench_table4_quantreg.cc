@@ -27,9 +27,15 @@ main()
     analysis::AttributionParams params =
         bench::defaultAttribution(bench::highLoad());
     params.quantiles = {0.5, 0.95, 0.99};
+    // Fan the sweep across hardware threads (Parallelism{1} restores
+    // the serial path; either way the observations are bit-exact).
+    params.parallelism = exec::Parallelism{};
+    params.progress = bench::sweepProgress();
 
-    std::printf("Collecting %u experiments (16 configs x %u reps)...\n\n",
-                16u * params.repsPerConfig, params.repsPerConfig);
+    std::printf("Collecting %u experiments (16 configs x %u reps,"
+                " %u threads)...\n\n",
+                16u * params.repsPerConfig, params.repsPerConfig,
+                params.parallelism.resolve());
     const auto result = analysis::runAttribution(params);
 
     std::printf("%s\n", analysis::renderCoefficientTable(result).c_str());

@@ -110,23 +110,33 @@ collectObservations(const AttributionParams &params)
     reference.seed = params.seed;
     const double fixedRps = core::deriveRequestRate(reference);
 
-    std::vector<Observation> observations;
-    observations.reserve(cells.size());
+    // Every run's params (and seed) depend only on its index, so the
+    // whole sweep can fan out across threads; results come back in
+    // index-addressed slots and the Observation set is identical for
+    // any Parallelism setting.
+    std::vector<core::ExperimentParams> runs;
+    runs.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
         core::ExperimentParams run = params.base;
         run.requestsPerSecond = fixedRps;
         run.config = hw::HardwareConfig::fromIndex(cells[i]);
         run.seed = params.seed * 2654435761ull + i * 97 + 1;
+        runs.push_back(std::move(run));
+    }
+    const std::vector<core::ExperimentResult> outcomes =
+        core::runExperiments(runs, params.parallelism,
+                             params.progress);
 
-        const core::ExperimentResult outcome = core::runExperiment(run);
-
+    std::vector<Observation> observations;
+    observations.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
         Observation obs;
-        obs.config = run.config;
-        obs.runSeed = run.seed;
-        obs.serverUtilization = outcome.serverUtilization;
+        obs.config = runs[i].config;
+        obs.runSeed = runs[i].seed;
+        obs.serverUtilization = outcomes[i].serverUtilization;
         for (double tau : params.quantiles) {
             obs.quantileUs[tau] =
-                outcome.aggregatedQuantile(tau, params.aggregation);
+                outcomes[i].aggregatedQuantile(tau, params.aggregation);
         }
         observations.push_back(std::move(obs));
     }

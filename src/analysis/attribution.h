@@ -44,6 +44,13 @@ struct AttributionParams {
     core::AggregationKind aggregation =
         core::AggregationKind::PerInstance;
     std::uint64_t seed = 1;
+    /** Fan the independent experiments across threads; the collected
+     *  Observation set is bit-exact for every setting (each run's
+     *  seed depends only on its index; see core::runExperiments). */
+    exec::Parallelism parallelism{};
+    /** Optional sweep observer (runs done / total, wall-clock,
+     *  achieved sim-time throughput). */
+    exec::ProgressFn progress{};
 };
 
 /** One measured experiment in the attribution data set. */

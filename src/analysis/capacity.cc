@@ -12,14 +12,23 @@ namespace {
 CapacityProbe
 probe(const CapacityParams &params, double utilization)
 {
-    std::vector<double> perRun;
-    double rps = 0.0;
+    // The runs at one probe point are seed-independent, so they fan
+    // out across threads; metrics are reduced in run-index order.
+    std::vector<core::ExperimentParams> runs;
+    runs.reserve(params.runsPerPoint);
     for (unsigned run = 0; run < params.runsPerPoint; ++run) {
         core::ExperimentParams p = params.base;
         p.targetUtilization = utilization;
         p.requestsPerSecond = 0.0; // derive from utilization
         p.seed = params.seed * 6151 + run * 131 + 7;
-        const auto result = core::runExperiment(p);
+        runs.push_back(std::move(p));
+    }
+    const auto results = core::runExperiments(runs, params.parallelism);
+
+    std::vector<double> perRun;
+    perRun.reserve(results.size());
+    double rps = 0.0;
+    for (const core::ExperimentResult &result : results) {
         perRun.push_back(result.aggregatedQuantile(
             params.tau, core::AggregationKind::PerInstance));
         rps = result.targetRps;

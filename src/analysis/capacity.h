@@ -39,6 +39,9 @@ struct CapacityParams {
     /** Runs averaged per probe point (hysteresis). */
     unsigned runsPerPoint = 3;
     std::uint64_t seed = 1;
+    /** Fan each probe point's independent runs across threads (the
+     *  bisection itself is inherently sequential). */
+    exec::Parallelism parallelism{};
 };
 
 /** One probed operating point. */

@@ -1,5 +1,6 @@
 #include "analysis/screening.h"
 
+#include "exec/parallel_for.h"
 #include "stats/hypothesis.h"
 #include "stats/summary.h"
 #include "util/error.h"
@@ -15,37 +16,41 @@ screenFactors(const std::vector<Observation> &observations,
     if (observations.empty())
         throw NumericalError("screening needs observations");
 
-    std::vector<FactorScreen> screens;
-    Rng rng = Rng(0x5c8ee71e5eedull).substream(params.seed);
+    const Rng rng = Rng(0x5c8ee71e5eedull).substream(params.seed);
 
-    for (std::size_t f = 0; f < hw::factorNames().size(); ++f) {
-        std::vector<double> low;
-        std::vector<double> high;
-        for (const Observation &obs : observations) {
-            const auto it = obs.quantileUs.find(params.tau);
-            if (it == obs.quantileUs.end()) {
-                throw NumericalError(strprintf(
-                    "observation missing tau=%g", params.tau));
+    // Each factor's permutation test reads the shared observations and
+    // draws from its own index-derived substream, so the screens run
+    // concurrently into index-addressed slots.
+    std::vector<FactorScreen> screens(hw::factorNames().size());
+    exec::parallelFor(
+        params.parallelism, screens.size(), [&](std::size_t f) {
+            std::vector<double> low;
+            std::vector<double> high;
+            for (const Observation &obs : observations) {
+                const auto it = obs.quantileUs.find(params.tau);
+                if (it == obs.quantileUs.end()) {
+                    throw NumericalError(strprintf(
+                        "observation missing tau=%g", params.tau));
+                }
+                const auto levels = obs.config.levels();
+                (levels[f] > 0.5 ? high : low).push_back(it->second);
             }
-            const auto levels = obs.config.levels();
-            (levels[f] > 0.5 ? high : low).push_back(it->second);
-        }
-        if (low.empty() || high.empty()) {
-            throw NumericalError(
-                "factor '" + hw::factorNames()[f] +
-                "' never varies in the observations");
-        }
+            if (low.empty() || high.empty()) {
+                throw NumericalError(
+                    "factor '" + hw::factorNames()[f] +
+                    "' never varies in the observations");
+            }
 
-        FactorScreen screen;
-        screen.name = hw::factorNames()[f];
-        screen.effectUs = stats::mean(high) - stats::mean(low);
-        Rng testRng = rng.substream(f + 1);
-        const auto test = stats::permutationTest(
-            high, low, params.permutations, testRng);
-        screen.pValue = test.pValue;
-        screen.significant = test.pValue < params.significance;
-        screens.push_back(std::move(screen));
-    }
+            FactorScreen screen;
+            screen.name = hw::factorNames()[f];
+            screen.effectUs = stats::mean(high) - stats::mean(low);
+            Rng testRng = rng.substream(f + 1);
+            const auto test = stats::permutationTest(
+                high, low, params.permutations, testRng);
+            screen.pValue = test.pValue;
+            screen.significant = test.pValue < params.significance;
+            screens[f] = std::move(screen);
+        });
     return screens;
 }
 

@@ -36,6 +36,10 @@ struct ScreeningParams {
     double significance = 0.05;
     std::size_t permutations = 2000;
     std::uint64_t seed = 1;
+    /** Fan the per-factor permutation tests across threads; each
+     *  factor's Rng is an index-derived substream, so the screens are
+     *  bit-exact for every setting. */
+    exec::Parallelism parallelism{};
 };
 
 /**

@@ -25,6 +25,7 @@
 #include "core/client.h"
 #include "core/tester_spec.h"
 #include "core/workload.h"
+#include "exec/parallel_runner.h"
 #include "hw/hardware_config.h"
 #include "hw/machine_spec.h"
 #include "server/mcrouter.h"
@@ -143,6 +144,29 @@ double deriveRequestRate(const ExperimentParams &params);
 /** Run one complete experiment. */
 ExperimentResult runExperiment(const ExperimentParams &params);
 
+/**
+ * Run many independent experiments, fanned across hardware threads.
+ *
+ * Seed-isolation invariant: runExperiment() builds every piece of
+ * mutable state it touches -- Simulation, Machine, servers, cluster,
+ * collectors, and all Rng streams -- from its own ExperimentParams, so
+ * two runs never share mutable state and may execute concurrently.
+ * Results are index-addressed (result[i] belongs to runs[i]), never
+ * ordered by completion, so the output is bit-exact with the serial
+ * loop for any Parallelism setting.
+ *
+ * @param runs        One ExperimentParams per experiment.
+ * @param parallelism Worker knob (default hardware concurrency,
+ *                    1 = legacy serial path).
+ * @param progress    Optional observer; Progress::workUnits carries
+ *                    simulated seconds, so throughput() is the
+ *                    achieved sim-time rate.
+ */
+std::vector<ExperimentResult> runExperiments(
+    const std::vector<ExperimentParams> &runs,
+    const exec::Parallelism &parallelism = {},
+    const exec::ProgressFn &progress = {});
+
 /** Parameters of the hysteresis-aware repeated procedure. */
 struct ProcedureParams {
     ExperimentParams base;
@@ -152,6 +176,9 @@ struct ProcedureParams {
     std::size_t maxRuns = 30;
     double tolerance = 0.02;
     std::size_t window = 3;
+    /** Fan independent runs across threads; results are bit-exact
+     *  with the serial path (see runExperiments()). */
+    exec::Parallelism parallelism{};
 };
 
 /** Outcome of the repeated procedure. */

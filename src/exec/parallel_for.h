@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Index-space fan-out over a ThreadPool.
+ *
+ * parallelFor(par, n, fn) runs fn(0) ... fn(n-1) across worker
+ * threads. The contract that makes this safe for simulations is
+ * *seed isolation*: each index must touch only state it owns (its own
+ * Simulation, Rng, collectors), so that execution order cannot change
+ * results. Under that contract parallelFor is bit-exact with the
+ * serial loop, because results are addressed by index, never by
+ * completion order.
+ *
+ * A Parallelism of 1 runs the plain serial loop on the calling thread
+ * with no pool, locks, or atomics -- the legacy path, kept as the
+ * baseline the determinism suite compares against.
+ */
+
+#ifndef TREADMILL_EXEC_PARALLEL_FOR_H_
+#define TREADMILL_EXEC_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+
+#include "exec/thread_pool.h"
+
+namespace treadmill {
+namespace exec {
+
+/**
+ * The parallelism knob threaded through every sweep-shaped API.
+ *
+ * threads == 0 (the default) resolves to the hardware concurrency;
+ * threads == 1 selects the legacy serial path; any other value pins
+ * the worker count explicitly.
+ */
+struct Parallelism {
+    unsigned threads = 0;
+
+    /** The worker count this knob resolves to (>= 1). */
+    unsigned
+    resolve() const
+    {
+        return threads == 0 ? ThreadPool::hardwareThreads() : threads;
+    }
+
+    /** The legacy single-threaded path. */
+    static Parallelism
+    serial()
+    {
+        return Parallelism{1};
+    }
+};
+
+/**
+ * Run @p fn over the index range [0, n) using up to par.resolve()
+ * worker threads.
+ *
+ * Indices are claimed from a shared counter, so tasks of uneven cost
+ * balance naturally. If any invocation throws, remaining indices are
+ * abandoned (already-started ones finish) and the first captured
+ * exception is rethrown on the calling thread after all workers stop.
+ *
+ * @param par Parallelism knob; resolve() == 1 runs serially inline.
+ * @param n   Number of indices; 0 is a no-op.
+ * @param fn  Callable invoked as fn(std::size_t index).
+ */
+template <typename Fn>
+void
+parallelFor(const Parallelism &par, std::size_t n, Fn &&fn)
+{
+    if (n == 0)
+        return;
+
+    const std::size_t lanes =
+        std::min<std::size_t>(par.resolve(), n);
+    if (lanes <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+
+    {
+        ThreadPool pool(static_cast<unsigned>(lanes));
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            pool.post([&] {
+                while (!failed.load(std::memory_order_relaxed)) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n)
+                        return;
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(errorMutex);
+                        if (!error)
+                            error = std::current_exception();
+                        failed.store(true, std::memory_order_relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+        pool.wait();
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace exec
+} // namespace treadmill
+
+#endif // TREADMILL_EXEC_PARALLEL_FOR_H_

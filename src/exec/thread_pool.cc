@@ -1,0 +1,78 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace treadmill {
+namespace exec {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(1u, threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::post(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(std::move(task));
+        ++inFlight;
+    }
+    wake.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    idle.wait(lock, [this] { return inFlight == 0; });
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wake.wait(lock,
+                      [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --inFlight;
+            if (inFlight == 0)
+                idle.notify_all();
+        }
+    }
+}
+
+} // namespace exec
+} // namespace treadmill

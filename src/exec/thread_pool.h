@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A fixed-size worker-thread pool for fanning out independent jobs.
+ *
+ * The attribution study runs hundreds of seed-isolated experiments;
+ * ThreadPool is the substrate that executes them concurrently. The
+ * design is deliberately minimal -- a shared FIFO task queue drained
+ * by a fixed set of workers, no work stealing -- because every task
+ * the simulator submits is coarse (a complete experiment or a
+ * permutation test), so queue contention is negligible next to task
+ * runtime.
+ *
+ * Tasks must not throw: higher layers (parallelFor, ParallelRunner)
+ * wrap user callables and carry exceptions back to the submitting
+ * thread via std::exception_ptr.
+ */
+
+#ifndef TREADMILL_EXEC_THREAD_POOL_H_
+#define TREADMILL_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace treadmill {
+namespace exec {
+
+/** A task submitted to the pool. Must not throw. */
+using Task = std::function<void()>;
+
+/**
+ * Fixed set of worker threads draining a shared FIFO task queue.
+ *
+ * The destructor waits for every posted task to finish before joining
+ * the workers, so a pool can be scoped to one fan-out region.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers.
+     *
+     * @param threads Worker count; clamped up to 1.
+     */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. Thread-safe. */
+    void post(Task task);
+
+    /** Block until every task posted so far has completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /** Detected hardware concurrency (at least 1). */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<Task> queue;
+    mutable std::mutex mutex;
+    std::condition_variable wake; ///< Signals workers: task or shutdown.
+    std::condition_variable idle; ///< Signals wait(): all tasks done.
+    std::size_t inFlight = 0;     ///< Tasks queued or executing.
+    bool stopping = false;
+};
+
+} // namespace exec
+} // namespace treadmill
+
+#endif // TREADMILL_EXEC_THREAD_POOL_H_

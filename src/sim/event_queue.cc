@@ -13,6 +13,7 @@ EventQueue::push(SimTime when, EventFn fn)
     const EventId id = nextId++;
     heap.push_back(Entry{when, nextSeq++, id, std::move(fn)});
     std::push_heap(heap.begin(), heap.end(), Later{});
+    pendingIds.insert(id);
     ++liveCount;
     return id;
 }
@@ -43,6 +44,7 @@ EventQueue::pop(SimTime &when)
     std::pop_heap(heap.begin(), heap.end(), Later{});
     Entry top = std::move(heap.back());
     heap.pop_back();
+    pendingIds.erase(top.id);
     --liveCount;
     when = top.when;
     return std::move(top.fn);
@@ -51,15 +53,9 @@ EventQueue::pop(SimTime &when)
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= nextId)
-        return false;
-    if (cancelledIds.count(id) > 0)
-        return false;
-    // Only mark ids that are actually still pending.
-    const bool pending = std::any_of(
-        heap.begin(), heap.end(),
-        [id](const Entry &e) { return e.id == id; });
-    if (!pending)
+    // pendingIds holds exactly the live ids, so one hash erase decides
+    // whether the event is still cancellable -- no heap scan.
+    if (pendingIds.erase(id) == 0)
         return false;
     cancelledIds.insert(id);
     --liveCount;
@@ -70,6 +66,7 @@ void
 EventQueue::clear()
 {
     heap.clear();
+    pendingIds.clear();
     cancelledIds.clear();
     liveCount = 0;
 }

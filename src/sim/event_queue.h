@@ -29,6 +29,9 @@ using EventId = std::uint64_t;
  * for the same instant always fire in the order they were scheduled.
  * This total order is what makes simulations reproducible. Cancellation
  * is lazy: cancelled entries stay in the heap and are skipped at pop.
+ * Pending ids are tracked in a hash set so cancel() is O(1) amortized
+ * -- per-request timeout events make cancellation a hot path, and a
+ * heap scan per cancel would be quadratic at high load.
  */
 class EventQueue
 {
@@ -91,6 +94,7 @@ class EventQueue
     void dropDeadTop();
 
     std::vector<Entry> heap;
+    std::unordered_set<EventId> pendingIds; ///< Live (cancellable) ids.
     std::unordered_set<EventId> cancelledIds;
     std::uint64_t nextSeq = 0;
     EventId nextId = 1;

@@ -183,17 +183,49 @@ AdaptiveHistogram::mean() const
 void
 AdaptiveHistogram::merge(const AdaptiveHistogram &other)
 {
+    // Each of other's bins lands at its midpoint, as one bulk mass
+    // addition. Widening happens at most once, up front, so no
+    // overflow batch accumulates mid-merge and re-bins are never
+    // triggered by replayed mass.
+    double highestMid = lo;
+    bool anyMass = false;
+    for (std::size_t i = 0; i < other.bins.size(); ++i) {
+        if (other.bins[i] == 0)
+            continue;
+        anyMass = true;
+        highestMid =
+            other.lo + (static_cast<double>(i) + 0.5) * other.width;
+    }
+    for (double v : other.overflowPending)
+        highestMid = std::max(highestMid, v);
+    if ((anyMass || !other.overflowPending.empty()) && highestMid >= hi)
+        widenToInclude(highestMid);
+
     for (std::size_t i = 0; i < other.bins.size(); ++i) {
         const std::uint64_t mass = other.bins[i];
         if (mass == 0)
             continue;
         const double mid =
             other.lo + (static_cast<double>(i) + 0.5) * other.width;
-        for (std::uint64_t k = 0; k < mass; ++k)
-            add(mid);
+        total += mass;
+        if (mid < lo) {
+            underflow += mass;
+            bins[0] += mass;
+            continue;
+        }
+        const auto idx = static_cast<std::size_t>((mid - lo) / width);
+        bins[std::min(idx, bins.size() - 1)] += mass;
     }
-    for (double v : other.overflowPending)
-        add(v);
+    for (double v : other.overflowPending) {
+        ++total;
+        if (v < lo) {
+            ++underflow;
+            ++bins[0];
+            continue;
+        }
+        const auto idx = static_cast<std::size_t>((v - lo) / width);
+        bins[std::min(idx, bins.size() - 1)] += 1;
+    }
 }
 
 double

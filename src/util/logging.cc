@@ -1,24 +1,26 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace treadmill {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic: parallel experiment workers consult the level concurrently.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -26,7 +28,7 @@ namespace detail {
 void
 emit(LogLevel level, const std::string &tag, const std::string &msg)
 {
-    if (static_cast<int>(level) <= static_cast<int>(g_level))
+    if (static_cast<int>(level) <= static_cast<int>(logLevel()))
         std::cerr << tag << ": " << msg << "\n";
 }
 

@@ -1,0 +1,136 @@
+/** @file Unit tests for parallelFor and ParallelRunner. */
+
+#include "exec/parallel_for.h"
+#include "exec/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace treadmill {
+namespace exec {
+namespace {
+
+TEST(ParallelismTest, ResolvesDefaultsToHardware)
+{
+    const Parallelism par;
+    EXPECT_EQ(par.resolve(), ThreadPool::hardwareThreads());
+    EXPECT_EQ(Parallelism::serial().resolve(), 1u);
+    EXPECT_EQ(Parallelism{6}.resolve(), 6u);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp)
+{
+    std::atomic<int> calls{0};
+    parallelFor(Parallelism{4}, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        std::vector<std::atomic<int>> visits(257);
+        parallelFor(Parallelism{threads}, visits.size(),
+                    [&](std::size_t i) { ++visits[i]; });
+        for (const auto &v : visits)
+            EXPECT_EQ(v.load(), 1);
+    }
+}
+
+TEST(ParallelForTest, MoreTasksThanThreads)
+{
+    std::atomic<std::uint64_t> sum{0};
+    parallelFor(Parallelism{3}, 1000,
+                [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 999u * 1000 / 2);
+}
+
+TEST(ParallelForTest, SerialPathRunsInOrderOnCallingThread)
+{
+    std::vector<std::size_t> order;
+    parallelFor(Parallelism::serial(), 10,
+                [&](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, PropagatesExceptionSerial)
+{
+    EXPECT_THROW(
+        parallelFor(Parallelism::serial(), 5,
+                    [](std::size_t i) {
+                        if (i == 3)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelForTest, PropagatesExceptionParallel)
+{
+    for (unsigned threads : {2u, 8u}) {
+        std::atomic<int> started{0};
+        try {
+            parallelFor(Parallelism{threads}, 64, [&](std::size_t i) {
+                ++started;
+                if (i == 7)
+                    throw std::runtime_error("boom");
+            });
+            FAIL() << "expected std::runtime_error";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom");
+        }
+        // At least the throwing index ran; abandoned indices are fine.
+        EXPECT_GE(started.load(), 1);
+    }
+}
+
+TEST(ParallelRunnerTest, ResultsAreIndexAddressed)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner{Parallelism{threads}};
+        const auto out = runner.run(100, [](std::size_t i) {
+            return static_cast<int>(i * i);
+        });
+        ASSERT_EQ(out.size(), 100u);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], static_cast<int>(i * i));
+    }
+}
+
+TEST(ParallelRunnerTest, ProgressCountsEveryTaskAndWork)
+{
+    ParallelRunner runner{Parallelism{4}};
+    std::size_t calls = 0;
+    std::size_t lastCompleted = 0;
+    double lastWork = 0.0;
+    runner.onProgress([&](const Progress &p) {
+        // Serialized by the runner: completed increases monotonically.
+        ++calls;
+        EXPECT_EQ(p.total, 32u);
+        EXPECT_GT(p.completed, lastCompleted);
+        lastCompleted = p.completed;
+        lastWork = p.workUnits;
+    });
+    runner.run(
+        32, [](std::size_t) { return 1.5; },
+        [](const double &v) { return v; });
+    EXPECT_EQ(calls, 32u);
+    EXPECT_EQ(lastCompleted, 32u);
+    EXPECT_DOUBLE_EQ(lastWork, 32 * 1.5);
+}
+
+TEST(ParallelRunnerTest, EmptyRunReturnsEmpty)
+{
+    ParallelRunner runner;
+    const auto out =
+        runner.run(0, [](std::size_t) { return 1; });
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace exec
+} // namespace treadmill

@@ -1,0 +1,101 @@
+/** @file Unit tests for the worker-thread pool. */
+
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace treadmill {
+namespace exec {
+namespace {
+
+TEST(ThreadPoolTest, ReportsThreadCount)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST(ThreadPoolTest, ClampsZeroThreadsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEveryPostedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.post([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreads)
+{
+    ThreadPool pool(2);
+    std::atomic<std::uint64_t> sum{0};
+    const int n = 5000;
+    for (int i = 1; i <= n; ++i)
+        pool.post([&sum, i] { sum += static_cast<std::uint64_t>(i); });
+    pool.wait();
+    EXPECT_EQ(sum.load(),
+              static_cast<std::uint64_t>(n) * (n + 1) / 2);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingPostedReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.post([&ran] { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> onCaller{false};
+    const auto caller = std::this_thread::get_id();
+    pool.post([&] {
+        if (std::this_thread::get_id() == caller)
+            onCaller = true;
+    });
+    pool.wait();
+    EXPECT_FALSE(onCaller.load());
+}
+
+TEST(ThreadPoolTest, PostFromWithinTask)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.post([&] {
+        ++ran;
+        pool.post([&ran] { ++ran; });
+    });
+    // The nested task is posted before the outer one completes, so
+    // wait() covers both.
+    pool.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+} // namespace
+} // namespace exec
+} // namespace treadmill

@@ -113,6 +113,70 @@ TEST(EventQueueTest, ClearRemovesEverything)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueueTest, CancelAfterClearFails)
+{
+    EventQueue q;
+    const EventId id = q.push(10, [] {});
+    q.clear();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelInterleavedWithPops)
+{
+    // The pending-id set must track exactly the live entries through
+    // pushes, pops, and lazy dead-top drops.
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        ids.push_back(q.push(i, [] {}));
+
+    // Cancel every third event.
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+        EXPECT_TRUE(q.cancel(ids[i]));
+        ++cancelled;
+    }
+    EXPECT_EQ(q.size(), ids.size() - cancelled);
+
+    // Pop half of the remainder; popped ids are no longer cancellable.
+    SimTime when = 0;
+    std::size_t popped = 0;
+    while (popped < 30) {
+        q.pop(when);
+        ++popped;
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const bool wasCancelled = i % 3 == 0;
+        if (wasCancelled)
+            EXPECT_FALSE(q.cancel(ids[i])) << "id " << ids[i];
+    }
+    EXPECT_EQ(q.size(), ids.size() - cancelled - popped);
+
+    // Everything left still pops in time order.
+    SimTime prev = when;
+    while (!q.empty()) {
+        q.pop(when);
+        EXPECT_GE(when, prev);
+        prev = when;
+    }
+}
+
+TEST(EventQueueTest, CancelManyPendingStaysConsistent)
+{
+    // 10^4 pending "timeout" events cancelled in scrambled order; the
+    // old implementation scanned the heap per cancel (quadratic), the
+    // hash-set version must stay exact at any scale.
+    EventQueue q;
+    std::vector<EventId> ids;
+    const std::uint64_t n = 10000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        ids.push_back(q.push((i * 7919) % 1000, [] {}));
+    for (std::uint64_t i = 0; i < n; ++i)
+        EXPECT_TRUE(q.cancel(ids[(i * 6151) % n]));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.cancel(ids[0]));
+}
+
 TEST(EventQueueTest, ManyEventsStressOrder)
 {
     EventQueue q;

@@ -167,6 +167,71 @@ TEST(AdaptiveHistogramTest, MergePreservesMassAndShape)
     EXPECT_NEAR(ha.quantile(0.95), expected, expected * 0.08);
 }
 
+TEST(AdaptiveHistogramTest, MergeWidensOnceWithoutSpuriousRebins)
+{
+    // The bulk merge widens up front to cover the other histogram's
+    // range instead of replaying mass sample-by-sample through add()
+    // (which parked replayed mass in the overflow batch and could
+    // trigger re-bins mid-merge).
+    AdaptiveHistogram narrow(0.0, 100.0);
+    for (int i = 0; i < 1000; ++i)
+        narrow.add(static_cast<double>(i % 100) + 0.5);
+
+    AdaptiveHistogram wide(0.0, 700.0);
+    for (int i = 0; i < 1000; ++i)
+        wide.add(static_cast<double>(i % 700) + 0.5);
+
+    const auto rebinsBefore = narrow.rebinCount();
+    narrow.merge(wide);
+    EXPECT_EQ(narrow.count(), 2000u);
+    // 100 -> 800 covers wide's top bin midpoint in 3 doublings, all
+    // from the single up-front widen.
+    EXPECT_EQ(narrow.rebinCount(), rebinsBefore + 3);
+    EXPECT_GE(narrow.upperBound(), 700.0);
+    // The merged tail is visible, not clamped.
+    EXPECT_GT(narrow.quantile(0.99), 600.0);
+}
+
+TEST(AdaptiveHistogramTest, MergeIntoWiderKeepsBoundsAndMass)
+{
+    AdaptiveHistogram wide(0.0, 1000.0);
+    for (int i = 0; i < 500; ++i)
+        wide.add(static_cast<double>(i) + 0.5);
+    AdaptiveHistogram narrow(0.0, 50.0);
+    for (int i = 0; i < 200; ++i)
+        narrow.add(static_cast<double>(i % 50) + 0.25);
+
+    const auto rebinsBefore = wide.rebinCount();
+    const double hiBefore = wide.upperBound();
+    wide.merge(narrow);
+    EXPECT_EQ(wide.count(), 700u);
+    EXPECT_EQ(wide.rebinCount(), rebinsBefore);
+    EXPECT_DOUBLE_EQ(wide.upperBound(), hiBefore);
+}
+
+TEST(AdaptiveHistogramTest, MergeCarriesPendingOverflowMass)
+{
+    // Samples parked above the source histogram's range (fewer than
+    // its overflow trigger) must still arrive in the destination.
+    AdaptiveHistogram::Params params;
+    params.overflowTrigger = 64;
+    AdaptiveHistogram src(0.0, 100.0, params);
+    for (int i = 0; i < 100; ++i)
+        src.add(50.0);
+    for (int i = 0; i < 10; ++i)
+        src.add(250.0); // pending: above hi, below the trigger
+    ASSERT_EQ(src.count(), 110u);
+
+    AdaptiveHistogram dst(0.0, 100.0, params);
+    for (int i = 0; i < 100; ++i)
+        dst.add(10.0);
+    dst.merge(src);
+    EXPECT_EQ(dst.count(), 210u);
+    EXPECT_GE(dst.upperBound(), 250.0);
+    EXPECT_GT(dst.quantile(0.99), 200.0);
+    EXPECT_NEAR(dst.cdf(1e9), 1.0, 1e-12);
+}
+
 TEST(AdaptiveHistogramTest, UnderflowClampsIntoFirstBin)
 {
     AdaptiveHistogram h(std::vector<double>{10.0, 20.0});
