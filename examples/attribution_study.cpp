@@ -126,5 +126,21 @@ main()
                 " %.0f%%\n",
                 100.0 * result.latencyReduction(),
                 100.0 * result.variabilityReduction());
+
+    // 6. Measured attribution: re-run the recommended configuration
+    //    with request tracing on and decompose the traced timelines
+    //    into per-component latencies -- the measured counterpart of
+    //    the regression attribution in step 2.
+    auto traced = improve.base;
+    traced.config = result.recommended;
+    traced.trace.enabled = true;
+    traced.trace.sampleEvery = 4;
+    std::printf("\nStep 6: measured decomposition of the recommended"
+                " configuration (tracing on)\n\n");
+    const auto tracedRun = core::runExperiment(traced);
+    std::printf("%s\n",
+                analysis::renderDecompositionTable(
+                    analysis::decomposeTraces(tracedRun.traces))
+                    .c_str());
     return 0;
 }

@@ -55,6 +55,27 @@ toJson(const core::ExperimentResult &result)
 
     doc["ground_truth"] = quantileSummary(result.groundTruthUs);
 
+    // Capture health (the tcpdump analogue's own diagnostics).
+    json::Object capture;
+    capture["unmatched_responses"] = json::Value(
+        static_cast<std::int64_t>(result.captureUnmatchedResponses));
+    capture["outstanding_at_end"] = json::Value(
+        static_cast<std::int64_t>(result.captureOutstanding));
+    doc["capture"] = json::Value(std::move(capture));
+    doc["deadline_hit"] = json::Value(result.deadlineHit);
+
+    // Measured per-component decomposition samples (Fig 3).
+    json::Object components;
+    components["server"] = quantileSummary(result.serverComponentUs);
+    components["network"] = quantileSummary(result.networkComponentUs);
+    components["client"] = quantileSummary(result.clientComponentUs);
+    doc["components"] = json::Value(std::move(components));
+
+    // The run's full metrics-registry snapshot (counters, gauges,
+    // histograms from every component).
+    if (!result.metrics.isNull())
+        doc["metrics"] = result.metrics;
+
     json::Array instances;
     for (const auto &inst : result.instances) {
         json::Object i;
@@ -100,6 +121,42 @@ toJson(const AttributionResult &attribution)
         models.push_back(json::Value(std::move(m)));
     }
     doc["models"] = json::Value(std::move(models));
+    return json::Value(std::move(doc));
+}
+
+json::Value
+toJson(const DecompositionReport &report)
+{
+    json::Object doc;
+    doc["requests"] = json::Value(
+        static_cast<std::int64_t>(report.requestCount));
+
+    json::Array quantiles;
+    for (double q : report.quantiles)
+        quantiles.push_back(json::Value(q));
+    doc["quantiles"] = json::Value(std::move(quantiles));
+
+    json::Array components;
+    for (const auto &component : report.components) {
+        json::Object c;
+        c["name"] = json::Value(component.name);
+        c["mean_us"] = json::Value(component.meanUs);
+        c["mean_share"] = json::Value(component.meanShare);
+        json::Array qs;
+        for (double v : component.quantileUs)
+            qs.push_back(json::Value(v));
+        c["quantiles_us"] = json::Value(std::move(qs));
+        components.push_back(json::Value(std::move(c)));
+    }
+    doc["components"] = json::Value(std::move(components));
+
+    json::Object endToEnd;
+    endToEnd["mean_us"] = json::Value(report.endToEndMeanUs);
+    json::Array qs;
+    for (double v : report.endToEndQuantileUs)
+        qs.push_back(json::Value(v));
+    endToEnd["quantiles_us"] = json::Value(std::move(qs));
+    doc["end_to_end"] = json::Value(std::move(endToEnd));
     return json::Value(std::move(doc));
 }
 

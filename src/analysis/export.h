@@ -14,6 +14,7 @@
 
 #include "analysis/attribution.h"
 #include "analysis/recommend.h"
+#include "analysis/report.h"
 #include "core/experiment.h"
 #include "util/json.h"
 
@@ -36,6 +37,12 @@ json::Value toJson(const AttributionResult &attribution);
 
 /** Serialize a Fig 12-style improvement evaluation. */
 json::Value toJson(const ImprovementResult &result);
+
+/**
+ * Serialize a per-component latency decomposition: one entry per path
+ * component with mean/quantiles/share, plus the end-to-end reference.
+ */
+json::Value toJson(const DecompositionReport &report);
 
 } // namespace analysis
 } // namespace treadmill

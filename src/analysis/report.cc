@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/summary.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -115,6 +116,98 @@ renderCoefficientTable(const AttributionResult &attribution,
     out += "\n(* = p < ";
     out += strprintf("%g", significance);
     out += " at some quantile)\n";
+    return out;
+}
+
+DecompositionReport
+decomposeTraces(const std::vector<obs::RequestTrace> &traces,
+                const std::vector<double> &quantiles)
+{
+    if (traces.empty())
+        throw NumericalError("cannot decompose zero traces");
+    if (quantiles.empty())
+        throw ConfigError("decomposition needs at least one quantile");
+
+    const auto &names = obs::decompositionComponentNames();
+    std::vector<std::vector<double>> perComponent(names.size());
+    for (auto &samples : perComponent)
+        samples.reserve(traces.size());
+    std::vector<double> endToEnd;
+    endToEnd.reserve(traces.size());
+
+    for (const obs::RequestTrace &t : traces) {
+        const auto d = obs::Decomposition::of(t);
+        const std::vector<double> parts =
+            obs::decompositionComponents(d);
+        for (std::size_t c = 0; c < parts.size(); ++c)
+            perComponent[c].push_back(parts[c]);
+        endToEnd.push_back(d.endToEndUs);
+    }
+
+    DecompositionReport report;
+    report.quantiles = quantiles;
+    report.requestCount = traces.size();
+    report.endToEndMeanUs = stats::mean(endToEnd);
+    for (double q : quantiles)
+        report.endToEndQuantileUs.push_back(
+            stats::quantile(endToEnd, q));
+
+    for (std::size_t c = 0; c < names.size(); ++c) {
+        DecompositionReport::Component component;
+        component.name = names[c];
+        component.meanUs = stats::mean(perComponent[c]);
+        component.meanShare =
+            report.endToEndMeanUs > 0.0
+                ? component.meanUs / report.endToEndMeanUs
+                : 0.0;
+        for (double q : quantiles)
+            component.quantileUs.push_back(
+                stats::quantile(perComponent[c], q));
+        report.components.push_back(std::move(component));
+    }
+    return report;
+}
+
+std::string
+renderDecompositionTable(const DecompositionReport &report)
+{
+    std::vector<std::string> header{"Component", "Mean"};
+    for (double q : report.quantiles)
+        header.push_back(strprintf("P%g", q * 100.0));
+    header.push_back("Share");
+    TextTable table(header);
+
+    const auto addRow = [&table](const std::string &name, double mean,
+                                 const std::vector<double> &qs,
+                                 double share, bool withShare) {
+        std::vector<std::string> row{name, strprintf("%.1f", mean)};
+        for (double v : qs)
+            row.push_back(strprintf("%.1f", v));
+        row.push_back(withShare ? strprintf("%.1f%%", share * 100.0)
+                                : std::string("-"));
+        table.addRow(std::move(row));
+    };
+
+    double meanSum = 0.0;
+    std::vector<double> quantileSums(report.quantiles.size(), 0.0);
+    for (const auto &component : report.components) {
+        addRow(component.name, component.meanUs, component.quantileUs,
+               component.meanShare, true);
+        meanSum += component.meanUs;
+        for (std::size_t i = 0; i < component.quantileUs.size(); ++i)
+            quantileSums[i] += component.quantileUs[i];
+    }
+    addRow("sum of components", meanSum, quantileSums, 1.0, false);
+    addRow("end-to-end", report.endToEndMeanUs,
+           report.endToEndQuantileUs, 1.0, false);
+
+    std::string out = strprintf(
+        "Latency decomposition over %zu traced requests (us)\n",
+        report.requestCount);
+    out += table.render();
+    out += "(per-request component sums equal end-to-end exactly;"
+           " per-component\n quantiles need not sum to the end-to-end"
+           " quantile)\n";
     return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/attribution.h"
+#include "obs/trace.h"
 
 namespace treadmill {
 namespace analysis {
@@ -56,6 +57,43 @@ std::string renderCoefficientTable(const AttributionResult &attribution,
  */
 std::string renderCdf(std::vector<double> samples,
                       std::size_t points = 50);
+
+/**
+ * The measured per-component latency breakdown of a traced run: which
+ * component (client queueing, network, server NIC queue, worker queue,
+ * service) owns each quantile of the distribution. This is the
+ * measured attribution table that sits alongside the
+ * quantile-regression attribution of renderCoefficientTable().
+ */
+struct DecompositionReport {
+    /** One row per path component, in path order. */
+    struct Component {
+        std::string name;
+        double meanUs = 0.0;
+        /** Component quantiles at the requested taus. */
+        std::vector<double> quantileUs;
+        /** Share of the end-to-end mean owned by this component. */
+        double meanShare = 0.0;
+    };
+
+    std::vector<Component> components;
+    double endToEndMeanUs = 0.0;
+    std::vector<double> endToEndQuantileUs;
+    std::vector<double> quantiles; ///< The taus the columns report.
+    std::size_t requestCount = 0;
+};
+
+/**
+ * Decompose @p traces into per-component quantiles at @p quantiles
+ * (defaults to P50/P99/P99.9). Throws NumericalError when empty.
+ */
+DecompositionReport
+decomposeTraces(const std::vector<obs::RequestTrace> &traces,
+                const std::vector<double> &quantiles = {0.5, 0.99,
+                                                        0.999});
+
+/** Render a DecompositionReport as an aligned text table. */
+std::string renderDecompositionTable(const DecompositionReport &report);
 
 /** Format microseconds compactly ("355 us", "<1 us"). */
 std::string formatMicros(double us);

@@ -4,6 +4,7 @@
 
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace treadmill {
 namespace core {
@@ -15,6 +16,13 @@ std::uint64_t
 globalConnectionId(std::size_t instance, std::uint64_t local)
 {
     return (static_cast<std::uint64_t>(instance) << 32) | local;
+}
+
+/** Metric-name prefix of one instance ("client3."). */
+std::string
+metricPrefix(std::size_t index)
+{
+    return strprintf("client%zu.", index);
 }
 
 } // namespace
@@ -29,7 +37,17 @@ LoadTesterInstance::LoadTesterInstance(sim::Simulation &sim_,
       transmit(std::move(transmit_)),
       samples(params.collector,
               Rng(0x1f0adbeefcafe22ull).substream(params.seed * 3 + 2)),
-      rng(Rng(0x1f0adbeefcafe33ull).substream(params.seed * 3 + 3))
+      rng(Rng(0x1f0adbeefcafe33ull).substream(params.seed * 3 + 3)),
+      issuedCounter(sim_.metrics().counter(
+          metricPrefix(params.index) + "issued")),
+      receivedCounter(sim_.metrics().counter(
+          metricPrefix(params.index) + "received")),
+      sendSlipHist(sim_.metrics().histogram(
+          metricPrefix(params.index) + "send_slip_us")),
+      outstandingHist(sim_.metrics().histogram(
+          metricPrefix(params.index) + "outstanding_at_send")),
+      outstandingGauge(sim_.metrics().gauge(
+          metricPrefix(params.index) + "outstanding"))
 {
     if (cfg.connections == 0)
         throw ConfigError("client needs at least one connection");
@@ -72,8 +90,11 @@ LoadTesterInstance::issueRequest(SimTime intendedSend)
     request->intendedSend = intendedSend;
 
     outstandingSamples.push_back(outstandingCount);
+    outstandingHist.record(static_cast<double>(outstandingCount));
     ++outstandingCount;
+    outstandingGauge.set(static_cast<double>(outstandingCount));
     ++issuedCount;
+    issuedCounter.add();
 
     // Request construction occupies the client CPU; an overloaded
     // client delays the actual transmission (client-side queueing).
@@ -82,8 +103,13 @@ LoadTesterInstance::issueRequest(SimTime intendedSend)
         static_cast<SimDuration>(microseconds(cfg.sendCostUs));
     cpuFreeAt = startProcessing + cost;
     cpuBusy += cost;
+    sim.countEvent("client.send");
     sim.scheduleAt(cpuFreeAt, [this, request] {
         request->clientSend = sim.now();
+        // Send slip: how far the actual send drifted from the
+        // open-loop schedule (the client-queueing bias, Fig 3).
+        sendSlipHist.record(
+            toMicros(request->clientSend - request->intendedSend));
         transmit(request);
     });
 }
@@ -95,6 +121,7 @@ LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
     // offset the paper observes between tcpdump and tester curves.
     const auto kernel =
         static_cast<SimDuration>(microseconds(cfg.kernelDelayUs));
+    sim.countEvent("client.kernel");
     sim.schedule(kernel, [this, request = std::move(request)] {
         // Response callback executes on the client CPU (inline, as
         // with wangle, but it still queues if the CPU is busy).
@@ -103,12 +130,16 @@ LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
             static_cast<SimDuration>(microseconds(cfg.receiveCostUs));
         cpuFreeAt = startProcessing + cost;
         cpuBusy += cost;
+        sim.countEvent("client.receive");
         sim.scheduleAt(cpuFreeAt, [this, request] {
             request->clientReceive = sim.now();
             TM_ASSERT(outstandingCount > 0,
                       "response without an outstanding request");
             --outstandingCount;
+            outstandingGauge.set(
+                static_cast<double>(outstandingCount));
             ++receivedCount;
+            receivedCounter.add();
             samples.add(request->clientLatencyUs());
             controller->onResponse();
             if (completionHook)

@@ -23,6 +23,7 @@
 #include "core/collector.h"
 #include "core/controller.h"
 #include "core/workload.h"
+#include "obs/metrics.h"
 #include "server/request.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
@@ -139,6 +140,16 @@ class LoadTesterInstance
     std::uint64_t receivedCount = 0;
     std::vector<std::uint64_t> outstandingSamples;
     std::function<void(const server::RequestPtr &)> completionHook;
+
+    /** @name Registry handles ("client<i>.*", resolved once)
+     * @{
+     */
+    obs::Counter &issuedCounter;
+    obs::Counter &receivedCounter;
+    obs::Histogram &sendSlipHist;     ///< intendedSend -> clientSend, us.
+    obs::Histogram &outstandingHist;  ///< Outstanding at each send.
+    obs::Gauge &outstandingGauge;
+    /** @} */
 };
 
 } // namespace core

@@ -9,6 +9,7 @@
 #include "stats/summary.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace treadmill {
 namespace core {
@@ -106,6 +107,8 @@ struct Harness {
     std::unique_ptr<net::Cluster> cluster;
     net::PacketCapture capture;
     std::vector<std::unique_ptr<LoadTesterInstance>> instances;
+    obs::TraceRecorder recorder;
+    bool deadlineHit = false;
 
     std::uint64_t responsesCompleted = 0;
     std::vector<double> serverComponentUs;
@@ -135,6 +138,7 @@ runExperiment(const ExperimentParams &params)
 
     auto h = std::make_unique<Harness>();
     h->params = params;
+    h->recorder = obs::TraceRecorder(params.trace);
 
     h->machine = std::make_unique<hw::Machine>(h->sim, params.machine,
                                                params.config, params.seed);
@@ -263,6 +267,24 @@ runExperiment(const ExperimentParams &params)
                      : harness->setLatencyUs)
                     .push_back(req->clientLatencyUs());
 
+                if (harness->params.trace.enabled) {
+                    obs::RequestTrace trace;
+                    trace.seqId = req->seqId;
+                    trace.connectionId = req->connectionId;
+                    trace.clientIndex = req->clientIndex;
+                    trace.isGet = req->op == server::OpType::Get;
+                    trace.hit = req->hit;
+                    trace.intendedSend = req->intendedSend;
+                    trace.clientSend = req->clientSend;
+                    trace.nicArrival = req->nicArrival;
+                    trace.workerStart = req->workerStart;
+                    trace.workerEnd = req->workerEnd;
+                    trace.nicDeparture = req->nicDeparture;
+                    trace.clientNicArrival = req->clientNicArrival;
+                    trace.clientReceive = req->clientReceive;
+                    harness->recorder.record(trace);
+                }
+
                 bool allDone = true;
                 for (auto &inst : harness->instances) {
                     if (inst->done())
@@ -278,7 +300,8 @@ runExperiment(const ExperimentParams &params)
     for (auto &instance : h->instances)
         instance->start();
     h->sim.scheduleAt(params.deadline, [harness = h.get()] {
-        warn("experiment hit its simulated-time deadline");
+        warn("experiment", "hit the simulated-time deadline");
+        harness->deadlineHit = true;
         harness->sim.stop();
     });
     h->sim.run();
@@ -295,6 +318,33 @@ runExperiment(const ExperimentParams &params)
                   toSeconds(h->sim.now())
             : 0.0;
     result.groundTruthUs = h->capture.latenciesUs();
+    result.deadlineHit = h->deadlineHit;
+
+    // Surface the tcpdump-analogue's diagnostics instead of silently
+    // dropping them. Unmatched responses mean the capture's matching
+    // broke -- always worth a warning. Requests still outstanding at
+    // the end are expected teardown residue (in-flight when the last
+    // collector finished), so they only warrant a warning when the run
+    // was cut short by its deadline.
+    result.captureUnmatchedResponses = h->capture.unmatchedResponses();
+    result.captureOutstanding = h->capture.outstanding();
+    if (result.captureUnmatchedResponses > 0) {
+        warn("capture",
+             strprintf("%llu responses had no matching request",
+                       static_cast<unsigned long long>(
+                           result.captureUnmatchedResponses)));
+    }
+    if (result.captureOutstanding > 0) {
+        const std::string msg = strprintf(
+            "%zu requests still outstanding at experiment end",
+            result.captureOutstanding);
+        if (h->deadlineHit)
+            warn("capture", msg);
+        else
+            inform("capture", msg);
+    }
+
+    result.traces = h->recorder.takeTraces();
     result.serverComponentUs = std::move(h->serverComponentUs);
     result.networkComponentUs = std::move(h->networkComponentUs);
     result.clientComponentUs = std::move(h->clientComponentUs);
@@ -317,6 +367,18 @@ runExperiment(const ExperimentParams &params)
         }
         result.instances.push_back(std::move(report));
     }
+
+    // Final gauge values that are only known at harvest time, then a
+    // snapshot of everything the run's components recorded.
+    obs::MetricsRegistry &registry = h->sim.metrics();
+    for (std::size_t i = 0; i < h->instances.size(); ++i) {
+        registry
+            .gauge(strprintf("client%zu.cpu_utilization", i))
+            .set(h->instances[i]->cpuUtilization());
+    }
+    registry.gauge("server.worker_utilization")
+        .set(h->machine->workerUtilization());
+    result.metrics = registry.snapshot();
     return result;
 }
 

@@ -28,10 +28,12 @@
 #include "exec/parallel_runner.h"
 #include "hw/hardware_config.h"
 #include "hw/machine_spec.h"
+#include "obs/trace.h"
 #include "server/mcrouter.h"
 #include "server/memcached.h"
 #include "server/sqlish.h"
 #include "stats/convergence.h"
+#include "util/json.h"
 #include "util/types.h"
 
 namespace treadmill {
@@ -77,6 +79,13 @@ struct ExperimentParams {
     /** Simulated-time safety cap. */
     SimDuration deadline = seconds(60);
 
+    /**
+     * Request-lifecycle tracing (off by default). Sampling is by
+     * completion order, deterministic and Rng-free, so enabling it
+     * cannot perturb the run.
+     */
+    obs::TraceConfig trace;
+
     ExperimentParams() { tester = treadmillSpec(); }
 };
 
@@ -103,6 +112,23 @@ struct ExperimentResult {
     double serverUtilization = 0.0;
     std::uint64_t frequencyTransitions = 0;
     SimTime simulatedTime = 0;
+    /** True when the simulated-time safety cap fired. */
+    bool deadlineHit = false;
+
+    /** @name PacketCapture diagnostics (tcpdump-analogue health)
+     * @{
+     */
+    /** Responses at the server NIC with no matching request. */
+    std::uint64_t captureUnmatchedResponses = 0;
+    /** Requests still awaiting a response when the run ended. */
+    std::size_t captureOutstanding = 0;
+    /** @} */
+
+    /** Sampled request timelines (empty unless params.trace.enabled). */
+    std::vector<obs::RequestTrace> traces;
+
+    /** Snapshot of the simulation's metrics registry at run end. */
+    json::Value metrics;
 
     /** @name Latency decomposition samples (Fig 3), microseconds
      * @{

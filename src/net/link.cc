@@ -11,7 +11,16 @@ namespace net {
 Link::Link(sim::Simulation &sim_, std::string name, double gbps,
            SimDuration propagation_)
     : sim(sim_), linkName(std::move(name)),
-      bytesPerNs(gbps / 8.0), propagation(propagation_)
+      bytesPerNs(gbps / 8.0), propagation(propagation_),
+      packetsCounter(
+          sim.metrics().counter("net." + linkName + ".packets")),
+      bytesCounter(sim.metrics().counter("net." + linkName + ".bytes")),
+      queueWaitHist(
+          sim.metrics().histogram("net." + linkName + ".queue_wait_us")),
+      inFlightGauge(
+          sim.metrics().gauge("net." + linkName + ".in_flight")),
+      utilizationGauge(
+          sim.metrics().gauge("net." + linkName + ".utilization"))
 {
     if (!(gbps > 0.0))
         throw ConfigError("link bandwidth must be positive");
@@ -29,6 +38,8 @@ Link::send(const Packet &packet, DeliveryFn onDelivered)
 {
     ++totalPackets;
     totalBytes += packet.bytes;
+    packetsCounter.add();
+    bytesCounter.add(packet.bytes);
 
     const SimTime now = sim.now();
     const SimDuration serialize = transmitTime(packet.bytes);
@@ -36,10 +47,23 @@ Link::send(const Packet &packet, DeliveryFn onDelivered)
     transmitterFreeAt = start + serialize;
     busyTime += serialize;
 
+    // Time this packet waits behind earlier packets at the transmitter:
+    // the link-queueing component of the paper's "network latency".
+    queueWaitHist.record(toMicros(start - now));
+    ++inFlightCount;
+    inFlightGauge.set(static_cast<double>(inFlightCount));
+    utilizationGauge.set(utilization());
+
     const SimTime deliverAt = transmitterFreeAt + propagation;
+    sim.countEvent("net.delivery");
     Packet copy = packet;
     sim.scheduleAt(deliverAt,
-                   [cb = std::move(onDelivered), copy] { cb(copy); });
+                   [this, cb = std::move(onDelivered), copy] {
+                       --inFlightCount;
+                       inFlightGauge.set(
+                           static_cast<double>(inFlightCount));
+                       cb(copy);
+                   });
 }
 
 double

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 #include "util/types.h"
 
@@ -58,6 +59,9 @@ class Link
     /** Fraction of elapsed time the transmitter has been busy. */
     double utilization() const;
 
+    /** Packets accepted but not yet delivered to the far end. */
+    std::size_t inFlight() const { return inFlightCount; }
+
     const std::string &name() const { return linkName; }
 
   private:
@@ -72,6 +76,17 @@ class Link
     SimDuration busyTime = 0;
     std::uint64_t totalBytes = 0;
     std::uint64_t totalPackets = 0;
+    std::size_t inFlightCount = 0;
+
+    /** @name Registry handles (resolved once at construction)
+     * @{
+     */
+    obs::Counter &packetsCounter;
+    obs::Counter &bytesCounter;
+    obs::Histogram &queueWaitHist;
+    obs::Gauge &inFlightGauge;
+    obs::Gauge &utilizationGauge;
+    /** @} */
 };
 
 } // namespace net

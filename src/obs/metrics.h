@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The metrics registry: lightweight counters, gauges, and log-bucketed
+ * histograms owned per-Simulation.
+ *
+ * The paper's thesis is *attributing* tail latency to its source; the
+ * registry is how every component (client control loop, network links,
+ * server NIC/workers, the event queue itself) publishes the telemetry
+ * that attribution needs. Ownership is per-Simulation so that parallel
+ * experiment runs (seed-isolated, see DESIGN.md §5) never share mutable
+ * metric state and remain bit-exact at any thread count: metrics are
+ * pure observers and never touch an Rng stream or the event order.
+ *
+ * Hot-path cost: components resolve their metrics by name once, at
+ * construction, and then bump plain integers/doubles through the held
+ * reference. Recording into a histogram is a frexp plus an array
+ * increment -- no allocation, no locking (a Simulation is
+ * single-threaded by construction).
+ */
+
+#ifndef TREADMILL_OBS_METRICS_H_
+#define TREADMILL_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace treadmill {
+namespace obs {
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { total += n; }
+    std::uint64_t value() const { return total; }
+
+  private:
+    std::uint64_t total = 0;
+};
+
+/** A point-in-time value (queue depth, utilization). */
+class Gauge
+{
+  public:
+    void set(double v) { current = v; }
+    void add(double delta) { current += delta; }
+    double value() const { return current; }
+
+  private:
+    double current = 0.0;
+};
+
+/**
+ * A log-bucketed histogram of non-negative values.
+ *
+ * Buckets are geometric with four sub-buckets per octave (~9% relative
+ * width), covering [2^-10, 2^40) -- microsecond latencies from
+ * sub-nanosecond to ~12 days. Values outside the range clamp to the
+ * edge buckets; exact min/max/sum are tracked alongside so means are
+ * exact and quantiles are clamped into [min, max].
+ */
+class Histogram
+{
+  public:
+    Histogram();
+
+    /** Record one observation (negative values clamp to zero). */
+    void record(double value);
+
+    std::uint64_t count() const { return observations; }
+    double sum() const { return total; }
+    double mean() const;
+    double min() const { return observations > 0 ? minSeen : 0.0; }
+    double max() const { return observations > 0 ? maxSeen : 0.0; }
+
+    /**
+     * Approximate q-quantile (bucket midpoint, clamped to [min, max]).
+     * Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+  private:
+    static constexpr int kSubBuckets = 4;   ///< Per octave.
+    static constexpr int kMinExp = -10;     ///< 2^-10 lower bound.
+    static constexpr int kMaxExp = 40;      ///< 2^40 upper bound.
+    static constexpr int kBucketCount =
+        (kMaxExp - kMinExp) * kSubBuckets;
+
+    /** Bucket index for @p value (clamped into range). */
+    static int bucketFor(double value);
+
+    /** Midpoint of bucket @p idx. */
+    static double bucketMid(int idx);
+
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t observations = 0;
+    double total = 0.0;
+    double minSeen = 0.0;
+    double maxSeen = 0.0;
+};
+
+/**
+ * Owns every metric of one Simulation and hands out stable references.
+ *
+ * Metrics are created on first lookup; repeated lookups under the same
+ * name return the same object. Storage is name-sorted so snapshot()
+ * output is deterministic.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** @name Find-or-create by hierarchical name ("client0.issued").
+     * References stay valid for the registry's lifetime.
+     * @{
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+    /** @} */
+
+    /** Total number of registered metrics. */
+    std::size_t size() const;
+
+    /**
+     * Serialize every metric to JSON:
+     * {"counters": {...}, "gauges": {...}, "histograms": {name:
+     * {count, sum, mean, min, max, p50, p90, p99, p999}}}.
+     */
+    json::Value snapshot() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+} // namespace obs
+} // namespace treadmill
+
+#endif // TREADMILL_OBS_METRICS_H_

@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace obs {
+
+bool
+timelineMonotonic(const RequestTrace &t)
+{
+    const SimTime order[] = {t.intendedSend,     t.clientSend,
+                             t.nicArrival,       t.workerStart,
+                             t.workerEnd,        t.nicDeparture,
+                             t.clientNicArrival, t.clientReceive};
+    for (SimTime stamp : order)
+        if (stamp == kNoTime)
+            return false;
+    for (std::size_t i = 1; i < std::size(order); ++i)
+        if (order[i] < order[i - 1])
+            return false;
+    return true;
+}
+
+double
+Decomposition::totalUs() const
+{
+    return clientQueueUs + netRequestUs + serverQueueUs + serviceUs +
+           serverNicUs + netResponseUs + clientDeliverUs;
+}
+
+Decomposition
+Decomposition::of(const RequestTrace &t)
+{
+    Decomposition d;
+    d.clientQueueUs = toMicros(t.clientSend - t.intendedSend);
+    d.netRequestUs = toMicros(t.nicArrival - t.clientSend);
+    d.serverQueueUs = toMicros(t.workerStart - t.nicArrival);
+    d.serviceUs = toMicros(t.workerEnd - t.workerStart);
+    d.serverNicUs = toMicros(t.nicDeparture - t.workerEnd);
+    d.netResponseUs = toMicros(t.clientNicArrival - t.nicDeparture);
+    d.clientDeliverUs = toMicros(t.clientReceive - t.clientNicArrival);
+    d.endToEndUs = toMicros(t.clientReceive - t.intendedSend);
+    return d;
+}
+
+const std::vector<std::string> &
+decompositionComponentNames()
+{
+    static const std::vector<std::string> names = {
+        "client queue",  "net request", "server queue", "service",
+        "server nic",    "net response", "client deliver"};
+    return names;
+}
+
+std::vector<double>
+decompositionComponents(const Decomposition &d)
+{
+    return {d.clientQueueUs, d.netRequestUs,  d.serverQueueUs,
+            d.serviceUs,     d.serverNicUs,   d.netResponseUs,
+            d.clientDeliverUs};
+}
+
+TraceRecorder::TraceRecorder(const TraceConfig &config) : cfg(config)
+{
+    if (cfg.sampleEvery == 0)
+        cfg.sampleEvery = 1;
+}
+
+bool
+TraceRecorder::record(const RequestTrace &trace)
+{
+    if (!cfg.enabled)
+        return false;
+    const bool sampled = offered % cfg.sampleEvery == 0;
+    ++offered;
+    if (!sampled || spans.size() >= cfg.maxTraces)
+        return false;
+    spans.push_back(trace);
+    return true;
+}
+
+std::vector<RequestTrace>
+TraceRecorder::takeTraces()
+{
+    std::vector<RequestTrace> out = std::move(spans);
+    spans.clear();
+    return out;
+}
+
+namespace {
+
+/** One "X" (complete) trace event. */
+json::Value
+spanEvent(const RequestTrace &t, const std::string &name, SimTime begin,
+          SimTime end)
+{
+    json::Object ev;
+    ev["name"] = json::Value(name);
+    ev["cat"] = json::Value("request");
+    ev["ph"] = json::Value("X");
+    ev["ts"] = json::Value(toMicros(begin));
+    ev["dur"] = json::Value(toMicros(end - begin));
+    ev["pid"] = json::Value(static_cast<std::int64_t>(t.clientIndex));
+    ev["tid"] = json::Value(static_cast<std::int64_t>(t.seqId));
+    json::Object args;
+    args["seq"] = json::Value(static_cast<std::int64_t>(t.seqId));
+    args["conn"] =
+        json::Value(static_cast<std::int64_t>(t.connectionId));
+    args["op"] = json::Value(t.isGet ? "get" : "set");
+    args["hit"] = json::Value(t.hit);
+    ev["args"] = json::Value(std::move(args));
+    return json::Value(std::move(ev));
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<RequestTrace> &traces)
+{
+    json::Array events;
+
+    // Process-name metadata: one "process" per client machine.
+    std::set<std::uint64_t> clients;
+    for (const RequestTrace &t : traces)
+        clients.insert(t.clientIndex);
+    for (std::uint64_t client : clients) {
+        json::Object meta;
+        meta["name"] = json::Value("process_name");
+        meta["ph"] = json::Value("M");
+        meta["pid"] = json::Value(static_cast<std::int64_t>(client));
+        json::Object args;
+        args["name"] =
+            json::Value(strprintf("client %llu",
+                                  static_cast<unsigned long long>(
+                                      client)));
+        meta["args"] = json::Value(std::move(args));
+        events.push_back(json::Value(std::move(meta)));
+    }
+
+    const auto &names = decompositionComponentNames();
+    for (const RequestTrace &t : traces) {
+        const SimTime edges[] = {t.intendedSend,     t.clientSend,
+                                 t.nicArrival,       t.workerStart,
+                                 t.workerEnd,        t.nicDeparture,
+                                 t.clientNicArrival, t.clientReceive};
+        for (std::size_t i = 0; i < names.size(); ++i)
+            events.push_back(
+                spanEvent(t, names[i], edges[i], edges[i + 1]));
+    }
+
+    json::Object doc;
+    doc["traceEvents"] = json::Value(std::move(events));
+    doc["displayTimeUnit"] = json::Value("ms");
+    json::Object other;
+    other["tool"] = json::Value("treadmill");
+    doc["otherData"] = json::Value(std::move(other));
+    return json::Value(std::move(doc)).dump();
+}
+
+std::string
+decompositionCsv(const std::vector<RequestTrace> &traces)
+{
+    std::string out =
+        "seq_id,client,op,hit,client_queue_us,net_request_us,"
+        "server_queue_us,service_us,server_nic_us,net_response_us,"
+        "client_deliver_us,component_sum_us,end_to_end_us\n";
+    for (const RequestTrace &t : traces) {
+        const Decomposition d = Decomposition::of(t);
+        out += strprintf(
+            "%llu,%llu,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,"
+            "%.3f,%.3f\n",
+            static_cast<unsigned long long>(t.seqId),
+            static_cast<unsigned long long>(t.clientIndex),
+            t.isGet ? "get" : "set", t.hit ? 1 : 0, d.clientQueueUs,
+            d.netRequestUs, d.serverQueueUs, d.serviceUs, d.serverNicUs,
+            d.netResponseUs, d.clientDeliverUs, d.totalUs(),
+            d.endToEndUs);
+    }
+    return out;
+}
+
+double
+maxDecompositionErrorUs(const std::vector<RequestTrace> &traces)
+{
+    double worst = 0.0;
+    for (const RequestTrace &t : traces) {
+        const Decomposition d = Decomposition::of(t);
+        worst = std::max(worst, std::fabs(d.totalUs() - d.endToEndUs));
+    }
+    return worst;
+}
+
+} // namespace obs
+} // namespace treadmill

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Request lifecycle tracing: sampled per-request timelines exported as
+ * Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)
+ * and as a per-request latency-decomposition CSV.
+ *
+ * Every Request already carries a complete timeline of simulated-clock
+ * stamps (server/request.h); the recorder snapshots those stamps into
+ * plain RequestTrace records so the timeline survives the request's
+ * destruction and can be decomposed into the per-component latencies
+ * the paper attributes (client queueing, network, server queueing,
+ * service). Because all stamps are integer nanoseconds, the component
+ * decomposition telescopes *exactly* to the end-to-end latency.
+ */
+
+#ifndef TREADMILL_OBS_TRACE_H_
+#define TREADMILL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace treadmill {
+namespace obs {
+
+/** The immutable timeline of one completed request. */
+struct RequestTrace {
+    std::uint64_t seqId = 0;
+    std::uint64_t connectionId = 0;
+    std::uint64_t clientIndex = 0;
+    bool isGet = true;
+    bool hit = false;
+
+    /** @name Simulated-clock stamps (ns), in lifecycle order.
+     * @{
+     */
+    SimTime intendedSend = kNoTime; ///< Open-loop schedule instant.
+    SimTime clientSend = kNoTime;   ///< Left the client CPU.
+    SimTime nicArrival = kNoTime;   ///< Reached the server NIC.
+    SimTime workerStart = kNoTime;  ///< Worker began processing.
+    SimTime workerEnd = kNoTime;    ///< Worker finished.
+    SimTime nicDeparture = kNoTime; ///< Response left the server NIC.
+    SimTime clientNicArrival = kNoTime; ///< Response at the client NIC.
+    SimTime clientReceive = kNoTime;    ///< Response callback ran.
+    /** @} */
+};
+
+/**
+ * True when every stamp is set and the timeline is monotone:
+ * intendedSend <= clientSend <= nicArrival <= workerStart <= workerEnd
+ * <= nicDeparture <= clientNicArrival <= clientReceive.
+ */
+bool timelineMonotonic(const RequestTrace &trace);
+
+/**
+ * The full-path latency decomposition of one request, in microseconds.
+ *
+ * The seven components partition [intendedSend, clientReceive], so
+ * totalUs() equals endToEndUs exactly (integer-nanosecond stamps).
+ */
+struct Decomposition {
+    double clientQueueUs = 0.0;   ///< Send slip: intendedSend->clientSend.
+    double netRequestUs = 0.0;    ///< clientSend->nicArrival.
+    double serverQueueUs = 0.0;   ///< NIC-to-worker wait: nicArrival->workerStart.
+    double serviceUs = 0.0;       ///< workerStart->workerEnd.
+    double serverNicUs = 0.0;     ///< workerEnd->nicDeparture.
+    double netResponseUs = 0.0;   ///< nicDeparture->clientNicArrival.
+    double clientDeliverUs = 0.0; ///< Kernel + callback: clientNicArrival->clientReceive.
+    double endToEndUs = 0.0;      ///< intendedSend->clientReceive.
+
+    /** Sum of the seven components. */
+    double totalUs() const;
+
+    /** Decompose @p trace (stamps must be monotone and complete). */
+    static Decomposition of(const RequestTrace &trace);
+};
+
+/** Component display names, in path order (matches Decomposition). */
+const std::vector<std::string> &decompositionComponentNames();
+
+/** Component values of @p d in the same order as the names. */
+std::vector<double> decompositionComponents(const Decomposition &d);
+
+/** Tracing knobs; disabled recording costs one branch per request. */
+struct TraceConfig {
+    bool enabled = false;
+    /** Record every Nth completed request (1 = all). */
+    std::uint64_t sampleEvery = 1;
+    /** Hard cap on retained spans (newest dropped once full). */
+    std::size_t maxTraces = 1u << 20;
+};
+
+/**
+ * Collects sampled RequestTraces during a run.
+ *
+ * Sampling is by completion order modulo sampleEvery -- deterministic
+ * given the simulation's (deterministic) event order, and independent
+ * of any Rng stream, so enabling tracing cannot perturb a run.
+ */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(const TraceConfig &config = {});
+
+    /** Offer one completed request; returns true if it was retained. */
+    bool record(const RequestTrace &trace);
+
+    /** Requests offered so far (sampled or not). */
+    std::uint64_t seen() const { return offered; }
+
+    const std::vector<RequestTrace> &traces() const { return spans; }
+
+    /** Move the retained traces out (recorder keeps counting). */
+    std::vector<RequestTrace> takeTraces();
+
+  private:
+    TraceConfig cfg;
+    std::vector<RequestTrace> spans;
+    std::uint64_t offered = 0;
+};
+
+/**
+ * Render traces as a Chrome trace-event JSON document: one "process"
+ * per client, one track per request, seven complete ("ph":"X") spans
+ * covering the full path. Timestamps are microseconds.
+ */
+std::string chromeTraceJson(const std::vector<RequestTrace> &traces);
+
+/**
+ * Render traces as a per-request decomposition CSV: one row per
+ * request with the seven component latencies, their sum, and the
+ * end-to-end latency (all microseconds).
+ */
+std::string decompositionCsv(const std::vector<RequestTrace> &traces);
+
+/**
+ * Largest |sum-of-components - end-to-end| across @p traces, in
+ * microseconds (0 for an empty set). Exactness check for tests/CI.
+ */
+double maxDecompositionErrorUs(const std::vector<RequestTrace> &traces);
+
+} // namespace obs
+} // namespace treadmill
+
+#endif // TREADMILL_OBS_TRACE_H_

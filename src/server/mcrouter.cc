@@ -15,7 +15,8 @@ McrouterServer::McrouterServer(hw::Machine &machine_,
       jitter(-0.5 * params_.workJitterSigma * params_.workJitterSigma,
              params_.workJitterSigma),
       backendDelay(LogNormal::fromMoments(params_.backendMeanUs,
-                                          params_.backendSigmaUs))
+                                          params_.backendSigmaUs)),
+      metrics(machine_.simulation().metrics())
 {
 }
 
@@ -107,6 +108,7 @@ McrouterServer::serializeOnWorker(RequestPtr request, RespondFn respond)
             48 + request->valueBytes / 2; // relayed value
         ++servedCount;
         request->nicDeparture = end;
+        metrics.onServed(*request);
         respond(request);
     };
     machine.submit(coreId, std::move(work));

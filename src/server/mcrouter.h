@@ -16,6 +16,7 @@
 
 #include "hw/machine.h"
 #include "server/request.h"
+#include "server/server_metrics.h"
 #include "util/random_variates.h"
 #include "util/rng.h"
 
@@ -66,6 +67,7 @@ class McrouterServer : public Service
     Rng rng;
     LogNormal jitter;
     LogNormal backendDelay;
+    ServerMetrics metrics;
     std::uint64_t servedCount = 0;
 };
 

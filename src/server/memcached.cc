@@ -14,7 +14,8 @@ MemcachedServer::MemcachedServer(hw::Machine &machine_,
     : machine(machine_), params(params_), kv(params_.storeCapacityBytes),
       rng(Rng(0x6d656d63616368ull).substream(seed)),
       jitter(-0.5 * params_.workJitterSigma * params_.workJitterSigma,
-             params_.workJitterSigma)
+             params_.workJitterSigma),
+      metrics(machine_.simulation().metrics())
 {
 }
 
@@ -92,6 +93,7 @@ MemcachedServer::executeOnWorker(RequestPtr request, RespondFn respond,
 
         ++servedCount;
         request->nicDeparture = end;
+        metrics.onServed(*request);
         respond(request);
     };
     machine.submit(coreId, std::move(work));

@@ -21,6 +21,7 @@
 #include "hw/machine.h"
 #include "server/kvstore.h"
 #include "server/request.h"
+#include "server/server_metrics.h"
 #include "util/random_variates.h"
 #include "util/rng.h"
 
@@ -79,6 +80,7 @@ class MemcachedServer : public Service
     KvStore kv;
     Rng rng;
     LogNormal jitter;
+    ServerMetrics metrics;
     std::uint64_t servedCount = 0;
 };
 

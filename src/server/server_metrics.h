@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared server-side telemetry: every service model (Memcached,
+ * mcrouter, sqlish) publishes the same queue-wait / service-time /
+ * hit-rate metrics into its machine's registry, so decomposition
+ * reports and dashboards read one schema regardless of workload kind.
+ */
+
+#ifndef TREADMILL_SERVER_SERVER_METRICS_H_
+#define TREADMILL_SERVER_SERVER_METRICS_H_
+
+#include "obs/metrics.h"
+#include "server/request.h"
+#include "util/types.h"
+
+namespace treadmill {
+namespace server {
+
+/** Registry handles for the common server metrics. */
+class ServerMetrics
+{
+  public:
+    explicit ServerMetrics(obs::MetricsRegistry &registry)
+        : queueWaitUs(registry.histogram("server.queue_wait_us")),
+          serviceUs(registry.histogram("server.service_us")),
+          hits(registry.counter("server.hits")),
+          misses(registry.counter("server.misses")),
+          served(registry.counter("server.served"))
+    {
+    }
+
+    /** Record one fully served request from its timeline stamps. */
+    void
+    onServed(const Request &request)
+    {
+        queueWaitUs.record(
+            toMicros(request.workerStart - request.nicArrival));
+        serviceUs.record(
+            toMicros(request.workerEnd - request.workerStart));
+        (request.hit ? hits : misses).add();
+        served.add();
+    }
+
+  private:
+    obs::Histogram &queueWaitUs; ///< NIC arrival to worker start.
+    obs::Histogram &serviceUs;   ///< Worker start to worker end.
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &served;
+};
+
+} // namespace server
+} // namespace treadmill
+
+#endif // TREADMILL_SERVER_SERVER_METRICS_H_

@@ -14,7 +14,8 @@ SqlishServer::SqlishServer(hw::Machine &machine_,
       rng(Rng(0x51a15eedull).substream(seed)),
       jitter(-0.5 * params_.workJitterSigma * params_.workJitterSigma,
              params_.workJitterSigma),
-      ioMiss(params_.ioMissProbability)
+      ioMiss(params_.ioMissProbability),
+      metrics(machine_.simulation().metrics())
 {
 }
 
@@ -54,6 +55,7 @@ SqlishServer::receive(RequestPtr request, RespondFn respond)
             request->responseBytes = 256;
             ++servedCount;
             request->nicDeparture = end;
+            metrics.onServed(*request);
             respond(request);
         };
         machine.submit(workerCoreId, std::move(query));

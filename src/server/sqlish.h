@@ -19,6 +19,7 @@
 
 #include "hw/machine.h"
 #include "server/request.h"
+#include "server/server_metrics.h"
 #include "util/random_variates.h"
 #include "util/rng.h"
 
@@ -57,6 +58,7 @@ class SqlishServer : public Service
     Rng rng;
     LogNormal jitter;
     Bernoulli ioMiss;
+    ServerMetrics metrics;
     std::uint64_t servedCount = 0;
 };
 

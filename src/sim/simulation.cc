@@ -1,13 +1,29 @@
 #include "sim/simulation.h"
 
+#include <string>
+
 #include "util/logging.h"
 
 namespace treadmill {
 namespace sim {
 
+Simulation::Simulation()
+    : scheduledCounter(&registry.counter("sim.events_scheduled")),
+      executedCounter(&registry.counter("sim.events_executed")),
+      cancelledCounter(&registry.counter("sim.events_cancelled")),
+      previousLogClock(detail::setSimClock(&currentTime))
+{
+}
+
+Simulation::~Simulation()
+{
+    detail::setSimClock(previousLogClock);
+}
+
 EventId
 Simulation::schedule(SimDuration delay, EventFn fn)
 {
+    scheduledCounter->add();
     return events.push(currentTime + delay, std::move(fn));
 }
 
@@ -15,7 +31,29 @@ EventId
 Simulation::scheduleAt(SimTime when, EventFn fn)
 {
     TM_ASSERT(when >= currentTime, "cannot schedule an event in the past");
+    scheduledCounter->add();
     return events.push(when, std::move(fn));
+}
+
+bool
+Simulation::cancel(EventId id)
+{
+    const bool cancelled = events.cancel(id);
+    if (cancelled)
+        cancelledCounter->add();
+    return cancelled;
+}
+
+void
+Simulation::countEvent(const char *type)
+{
+    auto it = typeCounters.find(type);
+    if (it == typeCounters.end()) {
+        obs::Counter &counter =
+            registry.counter(std::string("sim.events.") + type);
+        it = typeCounters.emplace(type, &counter).first;
+    }
+    it->second->add();
 }
 
 bool
@@ -28,6 +66,7 @@ Simulation::step()
     TM_ASSERT(when >= currentTime, "event queue went backwards in time");
     currentTime = when;
     ++executed;
+    executedCounter->add();
     fn();
     return true;
 }

@@ -11,7 +11,9 @@
 #define TREADMILL_SIM_SIMULATION_H_
 
 #include <cstdint>
+#include <unordered_map>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "util/types.h"
 
@@ -21,11 +23,19 @@ namespace sim {
 /**
  * Owns the virtual clock and the pending-event set and dispatches events
  * in timestamp order.
+ *
+ * Each Simulation also owns a MetricsRegistry: every component built on
+ * this simulation registers its metrics here, so telemetry is
+ * seed-isolated exactly like the rest of the mutable run state and the
+ * parallel-runner determinism invariant (DESIGN.md §5) holds with
+ * metrics enabled. While alive, the Simulation is this thread's
+ * logging clock: log lines carry the simulated timestamp.
  */
 class Simulation
 {
   public:
-    Simulation() = default;
+    Simulation();
+    ~Simulation();
 
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
@@ -40,7 +50,7 @@ class Simulation
     EventId scheduleAt(SimTime when, EventFn fn);
 
     /** Cancel a previously scheduled event. */
-    bool cancel(EventId id) { return events.cancel(id); }
+    bool cancel(EventId id);
 
     /**
      * Execute the earliest pending event.
@@ -72,11 +82,32 @@ class Simulation
     /** Number of events currently pending. */
     std::size_t pendingEvents() const { return events.size(); }
 
+    /** This simulation's metrics registry. */
+    obs::MetricsRegistry &metrics() { return registry; }
+    const obs::MetricsRegistry &metrics() const { return registry; }
+
+    /**
+     * Count one scheduled event of the named type ("client.send",
+     * "net.delivery") under "sim.events.<type>". The per-type counter
+     * is memoized by the literal's address, so call sites must pass
+     * string literals (or otherwise stable strings).
+     */
+    void countEvent(const char *type);
+
   private:
     EventQueue events;
     SimTime currentTime = 0;
     std::uint64_t executed = 0;
     bool stopping = false;
+
+    obs::MetricsRegistry registry;
+    obs::Counter *scheduledCounter = nullptr;
+    obs::Counter *executedCounter = nullptr;
+    obs::Counter *cancelledCounter = nullptr;
+    /** Per-type event counters, memoized by literal address. */
+    std::unordered_map<const char *, obs::Counter *> typeCounters;
+    /** The logging clock this Simulation replaced, restored on exit. */
+    const std::uint64_t *previousLogClock = nullptr;
 };
 
 } // namespace sim

@@ -4,11 +4,17 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "util/strings.h"
+
 namespace treadmill {
 
 namespace {
 // Atomic: parallel experiment workers consult the level concurrently.
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Per-thread simulated-clock source; each worker thread runs its own
+// Simulation, which installs a pointer to its current-time value.
+thread_local const std::uint64_t *g_simNowNs = nullptr;
 } // namespace
 
 void
@@ -25,11 +31,36 @@ logLevel()
 
 namespace detail {
 
-void
-emit(LogLevel level, const std::string &tag, const std::string &msg)
+const std::uint64_t *
+setSimClock(const std::uint64_t *nowNs)
 {
-    if (static_cast<int>(level) <= static_cast<int>(logLevel()))
-        std::cerr << tag << ": " << msg << "\n";
+    const std::uint64_t *previous = g_simNowNs;
+    g_simNowNs = nowNs;
+    return previous;
+}
+
+const std::uint64_t *
+simClock()
+{
+    return g_simNowNs;
+}
+
+void
+emit(LogLevel level, const std::string &tag, const char *component,
+     const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(logLevel()))
+        return;
+    std::string line = tag;
+    if (component != nullptr && component[0] != '\0') {
+        line += '(';
+        line += component;
+        line += ')';
+    }
+    if (g_simNowNs != nullptr)
+        line += strprintf(" @%.3fus",
+                          static_cast<double>(*g_simNowNs) / 1e3);
+    std::cerr << line << ": " << msg << "\n";
 }
 
 } // namespace detail
@@ -37,19 +68,37 @@ emit(LogLevel level, const std::string &tag, const std::string &msg)
 void
 inform(const std::string &msg)
 {
-    detail::emit(LogLevel::Info, "info", msg);
+    detail::emit(LogLevel::Info, "info", nullptr, msg);
+}
+
+void
+inform(const char *component, const std::string &msg)
+{
+    detail::emit(LogLevel::Info, "info", component, msg);
 }
 
 void
 warn(const std::string &msg)
 {
-    detail::emit(LogLevel::Warn, "warn", msg);
+    detail::emit(LogLevel::Warn, "warn", nullptr, msg);
+}
+
+void
+warn(const char *component, const std::string &msg)
+{
+    detail::emit(LogLevel::Warn, "warn", component, msg);
 }
 
 void
 debug(const std::string &msg)
 {
-    detail::emit(LogLevel::Debug, "debug", msg);
+    detail::emit(LogLevel::Debug, "debug", nullptr, msg);
+}
+
+void
+debug(const char *component, const std::string &msg)
+{
+    detail::emit(LogLevel::Debug, "debug", component, msg);
 }
 
 void

@@ -1,11 +1,23 @@
 /**
  * @file
  * Minimal logging and assertion facilities (gem5-style inform/warn/panic).
+ *
+ * Log lines carry the *simulated* timestamp and an optional component
+ * tag so they can be correlated with exported traces: the active
+ * Simulation installs a thread-local clock source (see
+ * detail::setSimClock), and each emitting site may name its component
+ * ("client", "net", "server"). A line then renders as
+ *
+ *     warn(net) @1234.567us: queue overflow
+ *
+ * Thread-locality keeps parallel experiment workers (each running its
+ * own Simulation on its own thread) from seeing each other's clocks.
  */
 
 #ifndef TREADMILL_UTIL_LOGGING_H_
 #define TREADMILL_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -21,17 +33,32 @@ void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 namespace detail {
-void emit(LogLevel level, const std::string &tag, const std::string &msg);
+void emit(LogLevel level, const std::string &tag, const char *component,
+          const std::string &msg);
+
+/**
+ * Install this thread's simulated-clock source: a pointer to the
+ * owner's current-time value (integer nanoseconds), or nullptr to
+ * disable timestamps. Returns the previous source so nested
+ * simulations can restore it.
+ */
+const std::uint64_t *setSimClock(const std::uint64_t *nowNs);
+
+/** This thread's current simulated-clock source (may be nullptr). */
+const std::uint64_t *simClock();
 } // namespace detail
 
 /** Informational message; shown at Info verbosity and above. */
 void inform(const std::string &msg);
+void inform(const char *component, const std::string &msg);
 
 /** Warning message; shown at Warn verbosity and above. */
 void warn(const std::string &msg);
+void warn(const char *component, const std::string &msg);
 
 /** Debug message; shown only at Debug verbosity. */
 void debug(const std::string &msg);
+void debug(const char *component, const std::string &msg);
 
 /**
  * Abort due to an internal invariant violation (a Treadmill bug).

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Integration tests for request tracing through a full experiment:
+ * timeline monotonicity, exact decomposition, capture diagnostics, and
+ * determinism of the metrics snapshot under parallel execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/report.h"
+#include "core/experiment.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace treadmill {
+namespace core {
+namespace {
+
+ExperimentParams
+tracedParams(std::uint64_t seed = 17)
+{
+    ExperimentParams p;
+    p.targetUtilization = 0.5;
+    p.collector.warmUpSamples = 200;
+    p.collector.calibrationSamples = 200;
+    p.collector.measurementSamples = 1200;
+    p.seed = seed;
+    p.trace.enabled = true;
+    return p;
+}
+
+TEST(TimelineTest, EveryTraceIsMonotonic)
+{
+    const auto result = runExperiment(tracedParams());
+    ASSERT_FALSE(result.traces.empty());
+    // intendedSend <= clientSend <= nicArrival <= workerStart <=
+    // workerEnd <= nicDeparture <= clientNicArrival <= clientReceive
+    // for every completed request the recorder sampled.
+    for (const obs::RequestTrace &t : result.traces)
+        ASSERT_TRUE(obs::timelineMonotonic(t)) << "seq " << t.seqId;
+}
+
+TEST(TimelineTest, DecompositionSumsMatchEndToEnd)
+{
+    const auto result = runExperiment(tracedParams());
+    ASSERT_FALSE(result.traces.empty());
+    // Integer-ns stamps telescope exactly; the acceptance bound is
+    // 0.1 us, the implementation delivers ~0.
+    EXPECT_LT(obs::maxDecompositionErrorUs(result.traces), 0.1);
+}
+
+TEST(TimelineTest, DecompositionReportCoversFullPath)
+{
+    const auto result = runExperiment(tracedParams());
+    const auto report = analysis::decomposeTraces(result.traces);
+    ASSERT_EQ(report.components.size(), 7u);
+    EXPECT_EQ(report.requestCount, result.traces.size());
+    double meanSum = 0.0;
+    for (const auto &component : report.components)
+        meanSum += component.meanUs;
+    EXPECT_NEAR(meanSum, report.endToEndMeanUs,
+                1e-6 * report.endToEndMeanUs);
+    // The fixed 30 us kernel delay lives in "client deliver", so it
+    // must be a visible component at moderate load.
+    EXPECT_GT(report.components.back().meanUs, 25.0);
+}
+
+TEST(TimelineTest, SamplingThinsDeterministically)
+{
+    auto every = tracedParams();
+    auto fourth = tracedParams();
+    fourth.trace.sampleEvery = 4;
+    const auto all = runExperiment(every);
+    const auto sampled = runExperiment(fourth);
+    ASSERT_FALSE(sampled.traces.empty());
+    // Sampling is by completion order: ~1/4 of the traces, and every
+    // sampled trace appears in the full set with identical stamps.
+    EXPECT_NEAR(static_cast<double>(sampled.traces.size()),
+                static_cast<double>(all.traces.size()) / 4.0,
+                static_cast<double>(all.traces.size()) * 0.05);
+    const obs::RequestTrace &probe = sampled.traces.front();
+    const auto match = std::find_if(
+        all.traces.begin(), all.traces.end(),
+        [&probe](const obs::RequestTrace &t) {
+            return t.seqId == probe.seqId &&
+                   t.clientIndex == probe.clientIndex;
+        });
+    ASSERT_NE(match, all.traces.end());
+    EXPECT_EQ(match->clientReceive, probe.clientReceive);
+    EXPECT_EQ(match->workerStart, probe.workerStart);
+}
+
+TEST(TimelineTest, TracingDoesNotPerturbTheRun)
+{
+    auto off = tracedParams();
+    off.trace.enabled = false;
+    const auto traced = runExperiment(tracedParams());
+    const auto plain = runExperiment(off);
+    EXPECT_TRUE(plain.traces.empty());
+    EXPECT_EQ(traced.groundTruthUs, plain.groundTruthUs);
+    EXPECT_EQ(
+        traced.aggregatedQuantile(0.99, AggregationKind::PerInstance),
+        plain.aggregatedQuantile(0.99, AggregationKind::PerInstance));
+}
+
+TEST(TimelineTest, CaptureDiagnosticsAreClean)
+{
+    const auto result = runExperiment(tracedParams());
+    // The capture matched every response; whatever was in flight at
+    // the end is bounded by teardown residue, not leak-sized.
+    EXPECT_EQ(result.captureUnmatchedResponses, 0u);
+    EXPECT_FALSE(result.deadlineHit);
+    EXPECT_LT(result.captureOutstanding, 1000u);
+}
+
+TEST(TimelineTest, MetricsSnapshotPresentAndSane)
+{
+    const auto result = runExperiment(tracedParams());
+    ASSERT_TRUE(result.metrics.isObject());
+    const json::Value &counters = result.metrics.at("counters");
+    EXPECT_GT(counters.at("sim.events_executed").asInt(), 0);
+    EXPECT_GT(counters.at("server.served").asInt(), 0);
+    EXPECT_GT(counters.at("client0.issued").asInt(), 0);
+    const json::Value &hists = result.metrics.at("histograms");
+    EXPECT_GT(hists.at("server.service_us").at("count").asInt(), 0);
+    EXPECT_GE(hists.at("server.queue_wait_us").at("p99").asNumber(),
+              0.0);
+}
+
+TEST(TimelineTest, MetricsAreBitExactAcrossThreadCounts)
+{
+    std::vector<ExperimentParams> runs;
+    for (std::uint64_t seed = 21; seed < 25; ++seed)
+        runs.push_back(tracedParams(seed));
+
+    const auto serial =
+        runExperiments(runs, exec::Parallelism{1});
+    const auto parallel =
+        runExperiments(runs, exec::Parallelism{4});
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        // Registry is per-Simulation (seed-isolated), so the full
+        // snapshot -- every counter, gauge, and histogram -- is
+        // identical regardless of the thread count.
+        EXPECT_EQ(serial[i].metrics.dump(),
+                  parallel[i].metrics.dump());
+        ASSERT_EQ(serial[i].traces.size(), parallel[i].traces.size());
+        for (std::size_t t = 0; t < serial[i].traces.size(); ++t)
+            EXPECT_EQ(serial[i].traces[t].clientReceive,
+                      parallel[i].traces[t].clientReceive);
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace treadmill

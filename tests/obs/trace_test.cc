@@ -1,0 +1,169 @@
+/** @file Unit tests for request tracing and trace export. */
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace treadmill {
+namespace obs {
+namespace {
+
+/** A complete, monotone trace with easy-to-check gaps. */
+RequestTrace
+sampleTrace(std::uint64_t seq = 0, std::uint64_t client = 0)
+{
+    RequestTrace t;
+    t.seqId = seq;
+    t.connectionId = 3;
+    t.clientIndex = client;
+    t.isGet = true;
+    t.hit = true;
+    t.intendedSend = 1'000;       // +500 ns client queue
+    t.clientSend = 1'500;         // +2000 ns net request
+    t.nicArrival = 3'500;         // +700 ns server queue
+    t.workerStart = 4'200;        // +5000 ns service
+    t.workerEnd = 9'200;          // +300 ns server nic
+    t.nicDeparture = 9'500;       // +2000 ns net response
+    t.clientNicArrival = 11'500;  // +250 ns client deliver
+    t.clientReceive = 11'750;
+    return t;
+}
+
+TEST(TraceTest, TimelineMonotonicAcceptsCompleteOrderedStamps)
+{
+    EXPECT_TRUE(timelineMonotonic(sampleTrace()));
+}
+
+TEST(TraceTest, TimelineMonotonicRejectsMissingOrReversedStamps)
+{
+    RequestTrace missing = sampleTrace();
+    missing.workerStart = kNoTime;
+    EXPECT_FALSE(timelineMonotonic(missing));
+
+    RequestTrace reversed = sampleTrace();
+    reversed.workerEnd = reversed.workerStart - 1;
+    EXPECT_FALSE(timelineMonotonic(reversed));
+}
+
+TEST(TraceTest, DecompositionTelescopesExactly)
+{
+    const Decomposition d = Decomposition::of(sampleTrace());
+    EXPECT_DOUBLE_EQ(d.clientQueueUs, 0.5);
+    EXPECT_DOUBLE_EQ(d.netRequestUs, 2.0);
+    EXPECT_DOUBLE_EQ(d.serverQueueUs, 0.7);
+    EXPECT_DOUBLE_EQ(d.serviceUs, 5.0);
+    EXPECT_DOUBLE_EQ(d.serverNicUs, 0.3);
+    EXPECT_DOUBLE_EQ(d.netResponseUs, 2.0);
+    EXPECT_DOUBLE_EQ(d.clientDeliverUs, 0.25);
+    EXPECT_DOUBLE_EQ(d.endToEndUs, 10.75);
+    EXPECT_NEAR(d.totalUs(), d.endToEndUs, 1e-9);
+
+    EXPECT_LT(maxDecompositionErrorUs({sampleTrace(), sampleTrace(1)}),
+              1e-9);
+    EXPECT_DOUBLE_EQ(maxDecompositionErrorUs({}), 0.0);
+}
+
+TEST(TraceTest, ComponentNamesAndValuesAlign)
+{
+    const auto &names = decompositionComponentNames();
+    const auto values =
+        decompositionComponents(Decomposition::of(sampleTrace()));
+    ASSERT_EQ(names.size(), 7u);
+    ASSERT_EQ(values.size(), names.size());
+    EXPECT_EQ(names.front(), "client queue");
+    EXPECT_EQ(names.back(), "client deliver");
+}
+
+TEST(TraceTest, RecorderDisabledByDefault)
+{
+    TraceRecorder recorder;
+    EXPECT_FALSE(recorder.record(sampleTrace()));
+    EXPECT_EQ(recorder.seen(), 0u);
+    EXPECT_TRUE(recorder.traces().empty());
+}
+
+TEST(TraceTest, RecorderSamplesEveryNth)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.sampleEvery = 3;
+    TraceRecorder recorder(cfg);
+    std::size_t kept = 0;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        kept += recorder.record(sampleTrace(i)) ? 1 : 0;
+    EXPECT_EQ(recorder.seen(), 10u);
+    EXPECT_EQ(kept, 4u); // offers 0, 3, 6, 9
+    EXPECT_EQ(recorder.traces().size(), 4u);
+}
+
+TEST(TraceTest, RecorderHonorsMaxTraces)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.maxTraces = 2;
+    TraceRecorder recorder(cfg);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        recorder.record(sampleTrace(i));
+    EXPECT_EQ(recorder.seen(), 5u);
+    EXPECT_EQ(recorder.traces().size(), 2u);
+
+    const auto taken = recorder.takeTraces();
+    EXPECT_EQ(taken.size(), 2u);
+    EXPECT_TRUE(recorder.traces().empty());
+    EXPECT_EQ(recorder.seen(), 5u); // counting survives the take
+}
+
+TEST(TraceTest, ChromeTraceJsonShape)
+{
+    const std::vector<RequestTrace> traces = {sampleTrace(0, 0),
+                                              sampleTrace(1, 2)};
+    const std::string text = chromeTraceJson(traces);
+    const json::Value doc = json::parse(text);
+
+    ASSERT_TRUE(doc.contains("traceEvents"));
+    const json::Array &events = doc.at("traceEvents").asArray();
+    // 2 process-name metadata records + 7 spans per request.
+    ASSERT_EQ(events.size(), 2u + 2u * 7u);
+
+    std::size_t metadata = 0;
+    std::size_t spans = 0;
+    for (const json::Value &ev : events) {
+        const std::string ph = ev.at("ph").asString();
+        if (ph == "M") {
+            ++metadata;
+            EXPECT_EQ(ev.at("name").asString(), "process_name");
+        } else {
+            ++spans;
+            EXPECT_EQ(ph, "X");
+            EXPECT_GE(ev.at("dur").asNumber(), 0.0);
+            EXPECT_TRUE(ev.contains("ts"));
+            EXPECT_TRUE(ev.contains("pid"));
+            EXPECT_TRUE(ev.contains("tid"));
+            EXPECT_EQ(ev.at("cat").asString(), "request");
+        }
+    }
+    EXPECT_EQ(metadata, 2u);
+    EXPECT_EQ(spans, 14u);
+    EXPECT_EQ(doc.at("otherData").at("tool").asString(), "treadmill");
+}
+
+TEST(TraceTest, DecompositionCsvShape)
+{
+    const std::string csv =
+        decompositionCsv({sampleTrace(0), sampleTrace(1)});
+    // Header + one row per trace.
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 3u);
+    EXPECT_EQ(csv.rfind("seq_id,client,op,hit,", 0), 0u);
+    EXPECT_NE(csv.find("component_sum_us,end_to_end_us"),
+              std::string::npos);
+    EXPECT_NE(csv.find("10.750,10.750"), std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace treadmill

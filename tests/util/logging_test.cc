@@ -24,6 +24,43 @@ TEST(LoggingTest, EmittingAtQuietDoesNotCrash)
     inform("should be suppressed");
     warn("should be suppressed");
     debug("should be suppressed");
+    inform("client", "should be suppressed");
+    warn("net", "should be suppressed");
+    debug("server", "should be suppressed");
+    setLogLevel(original);
+}
+
+TEST(LoggingTest, SimClockInstallsAndRestores)
+{
+    // No clock installed by default on this (test) thread.
+    EXPECT_EQ(detail::simClock(), nullptr);
+
+    const std::uint64_t outer = 1'000;
+    const std::uint64_t *previous = detail::setSimClock(&outer);
+    EXPECT_EQ(previous, nullptr);
+    EXPECT_EQ(detail::simClock(), &outer);
+
+    // A nested owner (e.g. a scratch Simulation) saves and restores.
+    const std::uint64_t inner = 2'000;
+    const std::uint64_t *saved = detail::setSimClock(&inner);
+    EXPECT_EQ(saved, &outer);
+    EXPECT_EQ(detail::simClock(), &inner);
+    detail::setSimClock(saved);
+    EXPECT_EQ(detail::simClock(), &outer);
+
+    detail::setSimClock(nullptr);
+    EXPECT_EQ(detail::simClock(), nullptr);
+}
+
+TEST(LoggingTest, EmittingWithClockAndComponentDoesNotCrash)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    const std::uint64_t now = 1'234'567;
+    const std::uint64_t *previous = detail::setSimClock(&now);
+    warn("net", "stamped and tagged");
+    inform("stamped only");
+    detail::setSimClock(previous);
     setLogLevel(original);
 }
 
