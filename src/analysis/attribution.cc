@@ -143,40 +143,32 @@ collectObservations(const AttributionParams &params)
     return observations;
 }
 
-AttributionResult
-fitAttribution(const AttributionParams &params,
-               std::vector<Observation> observations)
+std::vector<QuantileModel>
+fitFactorialModels(const regress::FactorialDesign &design,
+                   const std::vector<std::vector<double>> &levels,
+                   const std::map<double, std::vector<double>> &responses,
+                   const FactorialFitParams &params)
 {
-    if (observations.empty())
-        throw NumericalError("attribution needs observations");
-
-    AttributionResult result;
-    result.observations = std::move(observations);
+    if (levels.empty())
+        throw NumericalError("factorial fit needs observations");
 
     // Assemble the design matrix once; responses differ per tau.
-    std::vector<std::vector<double>> levels;
-    levels.reserve(result.observations.size());
-    for (const Observation &obs : result.observations) {
-        const auto l = obs.config.levels();
-        levels.emplace_back(l.begin(), l.end());
-    }
-    const regress::Matrix clean = result.design.designMatrix(levels);
+    const regress::Matrix clean = design.designMatrix(levels);
 
     Rng rng = Rng(0xbead5eedful).substream(params.seed);
     const regress::Matrix x =
         regress::FactorialDesign::perturb(clean, params.perturbSd, rng);
 
-    const auto names = result.design.termNames();
+    const auto names = design.termNames();
+    std::vector<QuantileModel> models;
     for (double tau : params.quantiles) {
-        regress::Vec y;
-        y.reserve(result.observations.size());
-        for (const Observation &obs : result.observations) {
-            const auto it = obs.quantileUs.find(tau);
-            if (it == obs.quantileUs.end())
-                throw NumericalError(
-                    strprintf("observation missing tau=%g", tau));
-            y.push_back(it->second);
-        }
+        const auto responseIt = responses.find(tau);
+        if (responseIt == responses.end() ||
+            responseIt->second.size() != levels.size())
+            throw NumericalError(
+                strprintf("responses missing or mis-sized for tau=%g",
+                          tau));
+        const regress::Vec &y = responseIt->second;
 
         Rng bootRng = rng.substream(
             static_cast<std::uint64_t>(tau * 1e6));
@@ -199,8 +191,48 @@ fitAttribution(const AttributionParams &params,
             term.pValue = inference.coefficients[t].pValue;
             model.terms.push_back(std::move(term));
         }
-        result.models.push_back(std::move(model));
+        models.push_back(std::move(model));
     }
+    return models;
+}
+
+AttributionResult
+fitAttribution(const AttributionParams &params,
+               std::vector<Observation> observations)
+{
+    if (observations.empty())
+        throw NumericalError("attribution needs observations");
+
+    AttributionResult result;
+    result.observations = std::move(observations);
+
+    std::vector<std::vector<double>> levels;
+    levels.reserve(result.observations.size());
+    for (const Observation &obs : result.observations) {
+        const auto l = obs.config.levels();
+        levels.emplace_back(l.begin(), l.end());
+    }
+    std::map<double, std::vector<double>> responses;
+    for (double tau : params.quantiles) {
+        std::vector<double> y;
+        y.reserve(result.observations.size());
+        for (const Observation &obs : result.observations) {
+            const auto it = obs.quantileUs.find(tau);
+            if (it == obs.quantileUs.end())
+                throw NumericalError(
+                    strprintf("observation missing tau=%g", tau));
+            y.push_back(it->second);
+        }
+        responses.emplace(tau, std::move(y));
+    }
+
+    FactorialFitParams fit;
+    fit.quantiles = params.quantiles;
+    fit.bootstrapReplicates = params.bootstrapReplicates;
+    fit.perturbSd = params.perturbSd;
+    fit.seed = params.seed;
+    result.models =
+        fitFactorialModels(result.design, levels, responses, fit);
     return result;
 }
 

@@ -113,6 +113,34 @@ struct AttributionResult {
                                     bool givenHigh) const;
 };
 
+/** Controls for fitting factorial quantile-regression models to an
+ *  arbitrary (design, levels, responses) data set. */
+struct FactorialFitParams {
+    std::vector<double> quantiles{0.5, 0.95, 0.99};
+    std::size_t bootstrapReplicates = 200;
+    double perturbSd = 0.01;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Fit one QuantileModel per requested tau to a generic 2-level
+ * factorial data set. This is the engine behind fitAttribution(),
+ * exposed so studies with factor sets other than the hardware one --
+ * e.g. injected-fault toggles -- reuse the identical treatment:
+ * 0.01-sd dummy perturbation, quantile regression with all
+ * interactions, bootstrap standard errors, pseudo-R^2.
+ *
+ * @param design The factor structure (any names/count).
+ * @param levels One level vector (0/1 per factor) per observation.
+ * @param responses tau -> one response per observation (microseconds);
+ *        must contain every tau in params.quantiles.
+ */
+std::vector<QuantileModel> fitFactorialModels(
+    const regress::FactorialDesign &design,
+    const std::vector<std::vector<double>> &levels,
+    const std::map<double, std::vector<double>> &responses,
+    const FactorialFitParams &params);
+
 /**
  * Collect the experiment data set for an attribution study: runs
  * repsPerConfig experiments for each of the 16 configurations in a

@@ -97,14 +97,10 @@ toJson(const core::ExperimentResult &result)
 }
 
 json::Value
-toJson(const AttributionResult &attribution)
+toJson(const std::vector<QuantileModel> &models)
 {
-    json::Object doc;
-    doc["observations"] = json::Value(
-        static_cast<std::int64_t>(attribution.observations.size()));
-
-    json::Array models;
-    for (const auto &model : attribution.models) {
+    json::Array out;
+    for (const auto &model : models) {
         json::Object m;
         m["tau"] = json::Value(model.tau);
         m["pseudo_r2"] = json::Value(model.pseudoR2);
@@ -118,9 +114,18 @@ toJson(const AttributionResult &attribution)
             terms.push_back(json::Value(std::move(t)));
         }
         m["terms"] = json::Value(std::move(terms));
-        models.push_back(json::Value(std::move(m)));
+        out.push_back(json::Value(std::move(m)));
     }
-    doc["models"] = json::Value(std::move(models));
+    return json::Value(std::move(out));
+}
+
+json::Value
+toJson(const AttributionResult &attribution)
+{
+    json::Object doc;
+    doc["observations"] = json::Value(
+        static_cast<std::int64_t>(attribution.observations.size()));
+    doc["models"] = toJson(attribution.models);
     return json::Value(std::move(doc));
 }
 

@@ -35,6 +35,9 @@ json::Value toJson(const core::ExperimentResult &result);
  */
 json::Value toJson(const AttributionResult &attribution);
 
+/** Serialize a bare fitted-model set (any factorial design). */
+json::Value toJson(const std::vector<QuantileModel> &models);
+
 /** Serialize a Fig 12-style improvement evaluation. */
 json::Value toJson(const ImprovementResult &result);
 

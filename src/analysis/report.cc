@@ -74,33 +74,31 @@ formatPValue(double p)
 }
 
 std::string
-renderCoefficientTable(const AttributionResult &attribution,
+renderCoefficientTable(const std::vector<QuantileModel> &models,
                        double significance)
 {
+    if (models.empty())
+        throw NumericalError("no fitted models to render");
+
     std::vector<std::string> header{"Factor"};
-    for (const QuantileModel &m : attribution.models) {
-        const std::string pct = strprintf(
-            "%g th", m.tau * 100.0);
+    for (const QuantileModel &m : models) {
         header.push_back(strprintf("P%g Est.", m.tau * 100.0));
         header.push_back(strprintf("P%g Std.Err", m.tau * 100.0));
         header.push_back(strprintf("P%g p-value", m.tau * 100.0));
-        (void)pct;
     }
     TextTable table(header);
 
-    if (attribution.models.empty())
-        throw NumericalError("no fitted models to render");
-    const std::size_t terms = attribution.models[0].terms.size();
+    const std::size_t terms = models[0].terms.size();
     for (std::size_t t = 0; t < terms; ++t) {
         std::vector<std::string> row;
-        std::string name = attribution.models[0].terms[t].name;
+        std::string name = models[0].terms[t].name;
         bool significant = false;
-        for (const QuantileModel &m : attribution.models)
+        for (const QuantileModel &m : models)
             significant |= m.terms[t].pValue < significance;
         if (significant)
             name += " *";
         row.push_back(name);
-        for (const QuantileModel &m : attribution.models) {
+        for (const QuantileModel &m : models) {
             const TermEstimate &term = m.terms[t];
             row.push_back(formatMicros(term.estimate));
             row.push_back(formatMicros(term.standardError));
@@ -111,12 +109,19 @@ renderCoefficientTable(const AttributionResult &attribution,
 
     std::string out = table.render();
     out += "\npseudo-R2:";
-    for (const QuantileModel &m : attribution.models)
+    for (const QuantileModel &m : models)
         out += strprintf("  P%g=%.3f", m.tau * 100.0, m.pseudoR2);
     out += "\n(* = p < ";
     out += strprintf("%g", significance);
     out += " at some quantile)\n";
     return out;
+}
+
+std::string
+renderCoefficientTable(const AttributionResult &attribution,
+                       double significance)
+{
+    return renderCoefficientTable(attribution.models, significance);
 }
 
 DecompositionReport

@@ -51,6 +51,12 @@ class TextTable
 std::string renderCoefficientTable(const AttributionResult &attribution,
                                    double significance = 0.05);
 
+/** Same rendering for a bare model set (any factorial design, e.g. a
+ *  fault-injection study's fault-toggle factors). */
+std::string
+renderCoefficientTable(const std::vector<QuantileModel> &models,
+                       double significance = 0.05);
+
 /**
  * Render a CDF as "value cumulative-probability" rows, downsampled to
  * @p points evenly spaced probabilities (a gnuplot-ready series).

@@ -1,6 +1,7 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.h"
 #include "util/logging.h"
@@ -38,10 +39,24 @@ LoadTesterInstance::LoadTesterInstance(sim::Simulation &sim_,
       samples(params.collector,
               Rng(0x1f0adbeefcafe22ull).substream(params.seed * 3 + 2)),
       rng(Rng(0x1f0adbeefcafe33ull).substream(params.seed * 3 + 3)),
+      resilienceRng(
+          Rng(0x1f0adbeefcafe44ull).substream(params.seed * 3 + 4)),
       issuedCounter(sim_.metrics().counter(
           metricPrefix(params.index) + "issued")),
       receivedCounter(sim_.metrics().counter(
           metricPrefix(params.index) + "received")),
+      timeoutsCounter(sim_.metrics().counter(
+          metricPrefix(params.index) + "timeouts")),
+      retriesCounter(sim_.metrics().counter(
+          metricPrefix(params.index) + "retries")),
+      hedgesCounter(sim_.metrics().counter(
+          metricPrefix(params.index) + "hedges")),
+      hedgeWinsCounter(sim_.metrics().counter(
+          metricPrefix(params.index) + "hedge_wins")),
+      failedCounter(sim_.metrics().counter(
+          metricPrefix(params.index) + "failed")),
+      lateCounter(sim_.metrics().counter(
+          metricPrefix(params.index) + "late_responses")),
       sendSlipHist(sim_.metrics().histogram(
           metricPrefix(params.index) + "send_slip_us")),
       outstandingHist(sim_.metrics().histogram(
@@ -52,6 +67,21 @@ LoadTesterInstance::LoadTesterInstance(sim::Simulation &sim_,
     if (cfg.connections == 0)
         throw ConfigError("client needs at least one connection");
     TM_ASSERT(transmit != nullptr, "client needs a transmit callback");
+
+    const ResiliencePolicy &res = cfg.resilience;
+    if (res.enabled) {
+        if (res.maxRetries > 0 && res.timeoutUs <= 0.0)
+            throw ConfigError(
+                "retries need a positive resilience timeout");
+        if (res.timeoutUs < 0.0 || res.backoffBaseUs < 0.0 ||
+            res.backoffCapUs < 0.0)
+            throw ConfigError("resilience delays must be non-negative");
+        if (res.jitterFraction < 0.0 || res.jitterFraction >= 1.0)
+            throw ConfigError("jitterFraction must lie in [0, 1)");
+        if (res.hedge &&
+            (res.hedgeQuantile <= 0.0 || res.hedgeQuantile >= 1.0))
+            throw ConfigError("hedgeQuantile must lie in (0, 1)");
+    }
 
     if (cfg.loop == ControlLoop::OpenLoop) {
         controller = std::make_unique<OpenLoopController>(
@@ -83,6 +113,7 @@ LoadTesterInstance::issueRequest(SimTime intendedSend)
     auto request = std::make_shared<server::Request>();
     request->seqId =
         (static_cast<std::uint64_t>(cfg.index) << 40) | nextSeq++;
+    request->logicalSeqId = request->seqId;
     request->clientIndex = cfg.index;
     request->connectionId = globalConnectionId(
         cfg.index, nextConnection++ % cfg.connections);
@@ -96,6 +127,19 @@ LoadTesterInstance::issueRequest(SimTime intendedSend)
     ++issuedCount;
     issuedCounter.add();
 
+    if (cfg.resilience.enabled) {
+        PendingState state;
+        state.proto = *request;
+        state.retriesLeft = cfg.resilience.maxRetries;
+        pending.emplace(request->logicalSeqId, std::move(state));
+    }
+
+    transmitAttempt(std::move(request));
+}
+
+void
+LoadTesterInstance::transmitAttempt(server::RequestPtr request)
+{
     // Request construction occupies the client CPU; an overloaded
     // client delays the actual transmission (client-side queueing).
     const SimTime startProcessing = std::max(sim.now(), cpuFreeAt);
@@ -108,10 +152,134 @@ LoadTesterInstance::issueRequest(SimTime intendedSend)
         request->clientSend = sim.now();
         // Send slip: how far the actual send drifted from the
         // open-loop schedule (the client-queueing bias, Fig 3).
-        sendSlipHist.record(
-            toMicros(request->clientSend - request->intendedSend));
+        // Retries and hedges are not scheduled sends, so they are
+        // excluded -- their slip is policy delay, not client queueing.
+        if (request->attempt == 0 && !request->hedged) {
+            sendSlipHist.record(
+                toMicros(request->clientSend - request->intendedSend));
+        }
         transmit(request);
+        if (cfg.resilience.enabled)
+            armAttempt(request);
     });
+}
+
+void
+LoadTesterInstance::armAttempt(const server::RequestPtr &request)
+{
+    const auto it = pending.find(request->logicalSeqId);
+    if (it == pending.end())
+        return; // Answered while this attempt queued on the CPU.
+    PendingState &state = it->second;
+    const ResiliencePolicy &res = cfg.resilience;
+    const std::uint64_t logicalId = request->logicalSeqId;
+
+    // The per-attempt timeout runs from the actual send instant.
+    // Hedges carry no timeout of their own; the primary attempt's
+    // timeout (and retry budget) stays authoritative.
+    if (!request->hedged && res.timeoutUs > 0.0) {
+        state.timeoutEvent = sim.schedule(
+            static_cast<SimDuration>(microseconds(res.timeoutUs)),
+            [this, logicalId] { onTimeout(logicalId); });
+    }
+
+    if (request->attempt == 0 && !request->hedged && res.hedge) {
+        double delayUs = res.hedgeDelayUs;
+        if (delayUs <= 0.0) {
+            // Derive the hedge delay from the running latency
+            // distribution once it is meaningful; before that, no
+            // hedge (mirrors production hedging warm-up behaviour).
+            if (samples.measured() < res.hedgeMinSamples)
+                return;
+            delayUs = samples.quantile(res.hedgeQuantile);
+        }
+        state.hedgeEvent = sim.schedule(
+            static_cast<SimDuration>(microseconds(delayUs)),
+            [this, logicalId] { onHedgeTimer(logicalId); });
+    }
+}
+
+void
+LoadTesterInstance::onTimeout(std::uint64_t logicalId)
+{
+    const auto it = pending.find(logicalId);
+    if (it == pending.end())
+        return;
+    PendingState &state = it->second;
+    state.timeoutEvent = 0;
+    ++timeoutCount;
+    timeoutsCounter.add();
+    sim.countEvent("client.timeout");
+
+    if (state.retriesLeft == 0) {
+        // Retry budget exhausted: the logical request failed. Release
+        // its slot so a closed loop does not deadlock, and record no
+        // latency sample -- a fabricated timeout-latency would distort
+        // exactly the tail this subsystem exists to expose.
+        if (state.hedgeEvent != 0)
+            sim.cancel(state.hedgeEvent);
+        pending.erase(it);
+        ++failedCount;
+        failedCounter.add();
+        TM_ASSERT(outstandingCount > 0,
+                  "failure without an outstanding request");
+        --outstandingCount;
+        outstandingGauge.set(static_cast<double>(outstandingCount));
+        controller->onResponse();
+        return;
+    }
+
+    --state.retriesLeft;
+    const ResiliencePolicy &res = cfg.resilience;
+    double delayUs =
+        std::min(res.backoffCapUs,
+                 res.backoffBaseUs *
+                     std::pow(2.0, static_cast<double>(
+                                       state.attemptsSent - 1)));
+    // Deterministic jitter from the client's private resilience
+    // stream: +/-jitterFraction, uniform.
+    delayUs *= 1.0 + res.jitterFraction *
+                         (2.0 * resilienceRng.nextDouble() - 1.0);
+    ++retryCount;
+    retriesCounter.add();
+    sim.countEvent("client.retry");
+    auto clone = cloneAttempt(state, /*hedged=*/false);
+    sim.schedule(static_cast<SimDuration>(microseconds(delayUs)),
+                 [this, clone] { transmitAttempt(clone); });
+}
+
+void
+LoadTesterInstance::onHedgeTimer(std::uint64_t logicalId)
+{
+    const auto it = pending.find(logicalId);
+    if (it == pending.end())
+        return;
+    PendingState &state = it->second;
+    state.hedgeEvent = 0;
+    if (state.hedgeSent)
+        return;
+    state.hedgeSent = true;
+    ++hedgeCount;
+    hedgesCounter.add();
+    sim.countEvent("client.hedge");
+    transmitAttempt(cloneAttempt(state, /*hedged=*/true));
+}
+
+server::RequestPtr
+LoadTesterInstance::cloneAttempt(PendingState &state, bool hedged)
+{
+    auto request = std::make_shared<server::Request>(state.proto);
+    request->seqId =
+        (static_cast<std::uint64_t>(cfg.index) << 40) | nextSeq++;
+    request->attempt = state.attemptsSent++;
+    request->hedged = hedged;
+    // Hedges go out on a different connection so RSS steers them to a
+    // different interrupt queue (the point of a backup request).
+    if (hedged) {
+        request->connectionId = globalConnectionId(
+            cfg.index, nextConnection++ % cfg.connections);
+    }
+    return request;
 }
 
 void
@@ -133,6 +301,28 @@ LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
         sim.countEvent("client.receive");
         sim.scheduleAt(cpuFreeAt, [this, request] {
             request->clientReceive = sim.now();
+
+            if (cfg.resilience.enabled) {
+                const auto it = pending.find(request->logicalSeqId);
+                if (it == pending.end()) {
+                    // The logical request already completed (another
+                    // attempt won) or failed: this response is late.
+                    ++lateCount;
+                    lateCounter.add();
+                    return;
+                }
+                PendingState &state = it->second;
+                if (state.timeoutEvent != 0)
+                    sim.cancel(state.timeoutEvent);
+                if (state.hedgeEvent != 0)
+                    sim.cancel(state.hedgeEvent);
+                if (request->hedged) {
+                    ++hedgeWinCount;
+                    hedgeWinsCounter.add();
+                }
+                pending.erase(it);
+            }
+
             TM_ASSERT(outstandingCount > 0,
                       "response without an outstanding request");
             --outstandingCount;
@@ -140,6 +330,12 @@ LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
                 static_cast<double>(outstandingCount));
             ++receivedCount;
             receivedCounter.add();
+            // Responses after the measurement window closed are
+            // dropped by the collector; surface them explicitly.
+            if (samples.done()) {
+                ++lateCount;
+                lateCounter.add();
+            }
             samples.add(request->clientLatencyUs());
             controller->onResponse();
             if (completionHook)

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/collector.h"
@@ -30,6 +31,49 @@
 
 namespace treadmill {
 namespace core {
+
+/**
+ * Client-side failure handling: per-request timeout, capped-backoff
+ * retry, and hedged (backup) requests.
+ *
+ * Latency discipline: all attempts of one logical request share the
+ * original intendedSend stamp, so the recorded latency spans from the
+ * instant the open-loop schedule meant to issue the request to the
+ * first response -- retries and hedges make the tail *visible*, they
+ * never reset the clock (paper S II's open-loop measurement rule).
+ * Timed-out requests that exhaust their retries are counted as
+ * failures, not recorded as fabricated latency samples.
+ *
+ * Disabled (the default), the client request path is byte-identical
+ * to a build without this struct: no state, events, or Rng draws.
+ */
+struct ResiliencePolicy {
+    bool enabled = false;
+
+    /** Per-attempt timeout; 0 disables timeouts (and thus retries). */
+    double timeoutUs = 0.0;
+
+    /** @name Retry (after a timeout)
+     * Retry k waits min(backoffCapUs, backoffBaseUs * 2^(k-1)),
+     * scaled by a deterministic uniform jitter of +/-jitterFraction.
+     * @{ */
+    unsigned maxRetries = 0;
+    double backoffBaseUs = 100.0;
+    double backoffCapUs = 10000.0;
+    double jitterFraction = 0.1;
+    /** @} */
+
+    /** @name Hedging
+     * After hedgeDelayUs (or, when 0, the collector's running
+     * hedgeQuantile estimate once hedgeMinSamples measurements exist)
+     * without a response, send one backup copy; first answer wins.
+     * @{ */
+    bool hedge = false;
+    double hedgeDelayUs = 0.0;
+    double hedgeQuantile = 0.95;
+    std::uint64_t hedgeMinSamples = 50;
+    /** @} */
+};
 
 /** Configuration of one load-tester instance. */
 struct ClientParams {
@@ -56,6 +100,7 @@ struct ClientParams {
     double receiveCostUs = 1.2; ///< CPU time for the response callback.
     double kernelDelayUs = 30.0; ///< NIC-to-user interrupt handling.
     /** @} */
+    ResiliencePolicy resilience;
     std::uint64_t seed = 1;
 };
 
@@ -97,6 +142,19 @@ class LoadTesterInstance
     std::size_t outstanding() const { return outstandingCount; }
     std::uint64_t issued() const { return issuedCount; }
     std::uint64_t received() const { return receivedCount; }
+    /** Attempts that hit their timeout. */
+    std::uint64_t timeouts() const { return timeoutCount; }
+    /** Extra wire attempts sent by the retry policy. */
+    std::uint64_t retries() const { return retryCount; }
+    /** Backup requests sent by the hedging policy. */
+    std::uint64_t hedges() const { return hedgeCount; }
+    /** Logical requests whose hedge answered first. */
+    std::uint64_t hedgeWins() const { return hedgeWinCount; }
+    /** Logical requests abandoned after exhausting retries. */
+    std::uint64_t failed() const { return failedCount; }
+    /** Responses that arrived after their logical request completed,
+     *  failed, or the measurement window closed. */
+    std::uint64_t lateResponses() const { return lateCount; }
     /** Outstanding-request count observed at each send instant
      *  (the Fig 1 distribution). */
     const std::vector<std::uint64_t> &outstandingAtSend() const
@@ -120,8 +178,33 @@ class LoadTesterInstance
     }
 
   private:
+    /** Per-logical-request resilience state, keyed by logicalSeqId. */
+    struct PendingState {
+        server::Request proto;    ///< Template for retry/hedge clones.
+        unsigned retriesLeft = 0;
+        std::uint32_t attemptsSent = 1;
+        bool hedgeSent = false;
+        sim::EventId timeoutEvent = 0;
+        sim::EventId hedgeEvent = 0;
+    };
+
     /** Controller callback: build and send one request. */
     void issueRequest(SimTime intendedSend);
+
+    /** Occupy the client CPU, then transmit @p request. */
+    void transmitAttempt(server::RequestPtr request);
+
+    /** Arm the timeout (and, for first attempts, the hedge timer). */
+    void armAttempt(const server::RequestPtr &request);
+
+    /** An attempt of @p logicalId hit its timeout. */
+    void onTimeout(std::uint64_t logicalId);
+
+    /** The hedge timer of @p logicalId fired unanswered. */
+    void onHedgeTimer(std::uint64_t logicalId);
+
+    /** Clone the prototype of @p state into a new wire attempt. */
+    server::RequestPtr cloneAttempt(PendingState &state, bool hedged);
 
     sim::Simulation &sim;
     ClientParams cfg;
@@ -130,6 +213,7 @@ class LoadTesterInstance
     std::unique_ptr<LoadController> controller;
     SampleCollector samples;
     Rng rng;
+    Rng resilienceRng; ///< Backoff jitter; untouched when disabled.
 
     SimTime cpuFreeAt = 0;
     SimDuration cpuBusy = 0;
@@ -138,14 +222,29 @@ class LoadTesterInstance
     std::size_t outstandingCount = 0;
     std::uint64_t issuedCount = 0;
     std::uint64_t receivedCount = 0;
+    std::uint64_t timeoutCount = 0;
+    std::uint64_t retryCount = 0;
+    std::uint64_t hedgeCount = 0;
+    std::uint64_t hedgeWinCount = 0;
+    std::uint64_t failedCount = 0;
+    std::uint64_t lateCount = 0;
     std::vector<std::uint64_t> outstandingSamples;
     std::function<void(const server::RequestPtr &)> completionHook;
+    /** Logical requests awaiting their first response (resilience
+     *  enabled only; empty and untouched otherwise). */
+    std::unordered_map<std::uint64_t, PendingState> pending;
 
     /** @name Registry handles ("client<i>.*", resolved once)
      * @{
      */
     obs::Counter &issuedCounter;
     obs::Counter &receivedCounter;
+    obs::Counter &timeoutsCounter;
+    obs::Counter &retriesCounter;
+    obs::Counter &hedgesCounter;
+    obs::Counter &hedgeWinsCounter;
+    obs::Counter &failedCounter;
+    obs::Counter &lateCounter;
     obs::Histogram &sendSlipHist;     ///< intendedSend -> clientSend, us.
     obs::Histogram &outstandingHist;  ///< Outstanding at each send.
     obs::Gauge &outstandingGauge;

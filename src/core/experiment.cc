@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 
+#include "fault/injector.h"
 #include "net/capture.h"
 #include "net/topology.h"
+#include "server/fault_shim.h"
 #include "sim/simulation.h"
 #include "stats/summary.h"
 #include "util/error.h"
@@ -106,6 +108,10 @@ struct Harness {
     std::unique_ptr<server::SqlishServer> sqlish;
     std::unique_ptr<net::Cluster> cluster;
     net::PacketCapture capture;
+    /** Fault machinery; both null when params.faultPlan is empty, so
+     *  an un-faulted run takes the raw service path untouched. */
+    std::unique_ptr<server::ServiceFaultShim> faultShim;
+    std::unique_ptr<fault::FaultInjector> injector;
     std::vector<std::unique_ptr<LoadTesterInstance>> instances;
     obs::TraceRecorder recorder;
     bool deadlineHit = false;
@@ -118,13 +124,23 @@ struct Harness {
     std::vector<double> setLatencyUs;
 
     server::Service &
-    service()
+    rawService()
     {
         if (memcached)
             return *memcached;
         if (mcrouter)
             return *mcrouter;
         return *sqlish;
+    }
+
+    /** The request sink: the fault shim when one is wired, else the
+     *  real server. */
+    server::Service &
+    service()
+    {
+        if (faultShim)
+            return *faultShim;
+        return rawService();
     }
 };
 
@@ -159,6 +175,17 @@ runExperiment(const ExperimentParams &params)
         clientSpecs[0].remoteRack = true;
     h->cluster = std::make_unique<net::Cluster>(
         h->sim, params.machine.nicGbps, clientSpecs);
+
+    if (!params.faultPlan.empty()) {
+        h->faultShim = std::make_unique<server::ServiceFaultShim>(
+            h->sim, h->rawService());
+        h->injector = std::make_unique<fault::FaultInjector>(
+            h->sim, params.faultPlan, params.seed);
+        h->injector->attachLinks(h->cluster->allLinks());
+        h->injector->attachShim(*h->faultShim);
+        h->injector->attachNic(h->machine->mutableNic());
+        h->injector->arm();
+    }
 
     const double totalRps = deriveRequestRate(params);
     const double perClientRps =
@@ -198,6 +225,7 @@ runExperiment(const ExperimentParams &params)
         cp.sendCostUs = params.clientSendCostUs;
         cp.receiveCostUs = params.clientReceiveCostUs;
         cp.kernelDelayUs = params.clientKernelDelayUs;
+        cp.resilience = params.resilience;
         cp.seed = params.seed * 1009 + i;
 
         auto *harness = h.get();
@@ -345,6 +373,8 @@ runExperiment(const ExperimentParams &params)
     }
 
     result.traces = h->recorder.takeTraces();
+    if (h->injector)
+        result.faultWindows = h->injector->annotations();
     result.serverComponentUs = std::move(h->serverComponentUs);
     result.networkComponentUs = std::move(h->networkComponentUs);
     result.clientComponentUs = std::move(h->clientComponentUs);

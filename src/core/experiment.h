@@ -26,6 +26,7 @@
 #include "core/tester_spec.h"
 #include "core/workload.h"
 #include "exec/parallel_runner.h"
+#include "fault/plan.h"
 #include "hw/hardware_config.h"
 #include "hw/machine_spec.h"
 #include "obs/trace.h"
@@ -73,6 +74,17 @@ struct ExperimentParams {
     double clientReceiveCostUs = 1.2;
     double clientKernelDelayUs = 30.0;
     /** @} */
+
+    /**
+     * Fault schedule for this run (empty by default). An empty plan
+     * constructs no shim, injector, or events -- the run is
+     * bit-identical to one on a build without the fault subsystem.
+     */
+    fault::FaultPlan faultPlan;
+
+    /** Client failure handling, shared by every instance (off by
+     *  default; see ResiliencePolicy for the zero-cost guarantee). */
+    ResiliencePolicy resilience;
 
     /** Run seed: placement identity (hysteresis) + all randomness. */
     std::uint64_t seed = 1;
@@ -126,6 +138,11 @@ struct ExperimentResult {
 
     /** Sampled request timelines (empty unless params.trace.enabled). */
     std::vector<obs::RequestTrace> traces;
+
+    /** Concrete fault windows the injector applied (one annotation per
+     *  window; empty when the run had no fault plan). Pass these to
+     *  chromeTraceJson() to overlay fault lanes on exported traces. */
+    std::vector<obs::TraceAnnotation> faultWindows;
 
     /** Snapshot of the simulation's metrics registry at run end. */
     json::Value metrics;

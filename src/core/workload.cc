@@ -53,9 +53,16 @@ WorkloadConfig::validate() const
     if (getFraction < 0.0 || getFraction > 1.0)
         throw ConfigError("get_fraction must lie in [0, 1]");
     if (keySpace == 0)
-        throw ConfigError("key_space must be positive");
-    if (zipfSkew < 0.0 || zipfSkew == 1.0)
-        throw ConfigError("zipf_skew must be >= 0 and != 1");
+        throw ConfigError(
+            "key_space must be >= 1: an empty key space leaves the "
+            "generator nothing to sample");
+    if (zipfSkew < 0.0)
+        throw ConfigError("zipf_skew must be >= 0 (0 = uniform)");
+    if (zipfSkew == 1.0)
+        throw ConfigError(
+            "zipf_skew must not be exactly 1: the Gray et al. O(1) "
+            "sampler's exponent 1/(1-s) is singular there; use 0.99 "
+            "or 1.01 instead");
     if (!(valueBytesMean > 0.0))
         throw ConfigError("value_bytes.mean must be positive");
     if (valueBytesSigma < 0.0)

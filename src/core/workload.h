@@ -25,9 +25,13 @@ namespace core {
 struct WorkloadConfig {
     /** Fraction of requests that are GETs (rest are SETs). */
     double getFraction = 0.95;
-    /** Number of distinct keys. */
+    /** Number of distinct keys; must be >= 1 (an empty key space
+     *  cannot be sampled and is rejected by validate()). */
     std::uint64_t keySpace = 100000;
-    /** Zipf skew over keys; 0 selects uniform popularity. */
+    /** Zipf skew over keys; 0 selects uniform popularity. Exactly 1.0
+     *  is rejected: the Gray et al. O(1) sampler inverts the zeta tail
+     *  via an exponent 1/(1-s), which is singular at s = 1. Use a
+     *  nearby value (0.99 or 1.01) for near-harmonic popularity. */
     double zipfSkew = 0.99;
     /** Mean of the (lognormal) value-size distribution, bytes. */
     double valueBytesMean = 100.0;

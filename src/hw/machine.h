@@ -58,6 +58,8 @@ class Machine
     const HardwareConfig &config() const { return hwConfig; }
     const PlacementState &placement() const { return placementState; }
     const Nic &nic() const { return nicModel; }
+    /** Mutable NIC access for the fault injector's storm hook. */
+    Nic &mutableNic() { return nicModel; }
     sim::Simulation &simulation() { return sim; }
     /** @} */
 

@@ -41,11 +41,26 @@ class Nic
     /** Number of interrupt queues. */
     unsigned queues() const { return queueCount; }
 
+    /** @name Fault-injection hooks (interrupt storms)
+     * @{
+     */
+    /**
+     * Current multiplier on interrupt-handling cost. Servers scale
+     * their per-request IRQ cycles by this; it is 1.0 except inside an
+     * injected interrupt-storm window.
+     */
+    double irqLoadFactor() const { return irqLoad; }
+
+    /** Set the storm multiplier (injector hook; 1.0 = healthy). */
+    void setIrqLoadFactor(double factor) { irqLoad = factor; }
+    /** @} */
+
   private:
     const MachineSpec &spec;
     NicAffinity affinity;
     unsigned rotation;
     unsigned queueCount;
+    double irqLoad = 1.0;
 };
 
 } // namespace hw

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/error.h"
+#include "util/logging.h"
 
 namespace treadmill {
 namespace net {
@@ -15,6 +16,8 @@ Link::Link(sim::Simulation &sim_, std::string name, double gbps,
       packetsCounter(
           sim.metrics().counter("net." + linkName + ".packets")),
       bytesCounter(sim.metrics().counter("net." + linkName + ".bytes")),
+      droppedCounter(
+          sim.metrics().counter("net." + linkName + ".dropped")),
       queueWaitHist(
           sim.metrics().histogram("net." + linkName + ".queue_wait_us")),
       inFlightGauge(
@@ -29,13 +32,25 @@ Link::Link(sim::Simulation &sim_, std::string name, double gbps,
 SimDuration
 Link::transmitTime(std::uint32_t bytes) const
 {
-    return static_cast<SimDuration>(
-        std::max(1.0, static_cast<double>(bytes) / bytesPerNs));
+    // Degraded bandwidth stretches serialization proportionally.
+    const double effectiveBytesPerNs =
+        faults ? bytesPerNs * faults->bandwidthFactor : bytesPerNs;
+    return static_cast<SimDuration>(std::max(
+        1.0, static_cast<double>(bytes) / effectiveBytesPerNs));
 }
 
 void
 Link::send(const Packet &packet, DeliveryFn onDelivered)
 {
+    if (faults && faults->lossProbability > 0.0 &&
+        faults->lossRng.nextDouble() < faults->lossProbability) {
+        // The packet vanishes on the wire: it never occupies the
+        // transmitter and its delivery callback is simply destroyed.
+        ++faults->dropped;
+        droppedCounter.add();
+        return;
+    }
+
     ++totalPackets;
     totalBytes += packet.bytes;
     packetsCounter.add();
@@ -54,7 +69,9 @@ Link::send(const Packet &packet, DeliveryFn onDelivered)
     inFlightGauge.set(static_cast<double>(inFlightCount));
     utilizationGauge.set(utilization());
 
-    const SimTime deliverAt = transmitterFreeAt + propagation;
+    const SimDuration effectivePropagation =
+        faults ? propagation + faults->extraPropagation : propagation;
+    const SimTime deliverAt = transmitterFreeAt + effectivePropagation;
     sim.countEvent("net.delivery");
     Packet copy = packet;
     sim.scheduleAt(deliverAt,
@@ -64,6 +81,42 @@ Link::send(const Packet &packet, DeliveryFn onDelivered)
                            static_cast<double>(inFlightCount));
                        cb(copy);
                    });
+}
+
+void
+Link::armFaults(const Rng &lossRng)
+{
+    if (!faults) {
+        faults = std::make_unique<FaultState>();
+        faults->lossRng = lossRng;
+    }
+}
+
+void
+Link::setLossProbability(double p)
+{
+    TM_ASSERT(faults != nullptr, "fault hooks not armed");
+    faults->lossProbability = p;
+}
+
+void
+Link::setBandwidthFactor(double factor)
+{
+    TM_ASSERT(faults != nullptr, "fault hooks not armed");
+    faults->bandwidthFactor = factor;
+}
+
+void
+Link::setExtraPropagation(SimDuration extra)
+{
+    TM_ASSERT(faults != nullptr, "fault hooks not armed");
+    faults->extraPropagation = extra;
+}
+
+std::uint64_t
+Link::packetsDropped() const
+{
+    return faults ? faults->dropped : 0;
 }
 
 double

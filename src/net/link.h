@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "net/packet.h"
 #include "obs/metrics.h"
 #include "sim/simulation.h"
+#include "util/rng.h"
 #include "util/types.h"
 
 namespace treadmill {
@@ -64,9 +66,44 @@ class Link
 
     const std::string &name() const { return linkName; }
 
+    /** @name Fault-injection hooks
+     * A healthy link never allocates fault state, so the only cost of
+     * the fault subsystem on an un-faulted run is one null-pointer
+     * check per send() -- no extra events, draws, or metric updates.
+     * @{
+     */
+    /**
+     * Arm the fault hooks with a private randomness stream for loss
+     * draws (derived from the run seed by the injector, so faulted
+     * runs stay seed-isolated). Idempotent.
+     */
+    void armFaults(const Rng &lossRng);
+
+    /** Drop each subsequent packet with probability @p p (armed only). */
+    void setLossProbability(double p);
+
+    /** Scale bandwidth by @p factor (< 1 = degraded; armed only). */
+    void setBandwidthFactor(double factor);
+
+    /** Add @p extra one-way propagation delay (armed only). */
+    void setExtraPropagation(SimDuration extra);
+
+    /** Packets dropped by injected loss so far. */
+    std::uint64_t packetsDropped() const;
+    /** @} */
+
   private:
     /** Serialization time for @p bytes at this link's bandwidth. */
     SimDuration transmitTime(std::uint32_t bytes) const;
+
+    /** Mutable fault state, allocated only when faults are armed. */
+    struct FaultState {
+        Rng lossRng{1};
+        double lossProbability = 0.0;
+        double bandwidthFactor = 1.0;
+        SimDuration extraPropagation = 0;
+        std::uint64_t dropped = 0;
+    };
 
     sim::Simulation &sim;
     std::string linkName;
@@ -77,12 +114,14 @@ class Link
     std::uint64_t totalBytes = 0;
     std::uint64_t totalPackets = 0;
     std::size_t inFlightCount = 0;
+    std::unique_ptr<FaultState> faults;
 
     /** @name Registry handles (resolved once at construction)
      * @{
      */
     obs::Counter &packetsCounter;
     obs::Counter &bytesCounter;
+    obs::Counter &droppedCounter;
     obs::Histogram &queueWaitHist;
     obs::Gauge &inFlightGauge;
     obs::Gauge &utilizationGauge;

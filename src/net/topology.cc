@@ -78,6 +78,18 @@ Cluster::Cluster(sim::Simulation &sim, double serverLinkGbps,
     }
 }
 
+std::vector<Link *>
+Cluster::allLinks()
+{
+    std::vector<Link *> links;
+    links.reserve(ownedLinks.size() + 2);
+    for (auto &link : ownedLinks)
+        links.push_back(link.get());
+    links.push_back(serverIn.get());
+    links.push_back(serverOut.get());
+    return links;
+}
+
 const Path &
 Cluster::clientToServer(std::size_t i) const
 {

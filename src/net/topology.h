@@ -103,6 +103,12 @@ class Cluster
     /** The shared server egress link. */
     const Link &serverEgress() const { return *serverOut; }
 
+    /**
+     * Every link in the cluster (client up/downlinks plus the shared
+     * server links), for the fault injector's name-pattern targeting.
+     */
+    std::vector<Link *> allLinks();
+
   private:
     std::vector<std::unique_ptr<Link>> ownedLinks;
     std::unique_ptr<Link> serverIn;

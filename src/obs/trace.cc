@@ -120,9 +120,36 @@ spanEvent(const RequestTrace &t, const std::string &name, SimTime begin,
 } // namespace
 
 std::string
-chromeTraceJson(const std::vector<RequestTrace> &traces)
+chromeTraceJson(const std::vector<RequestTrace> &traces,
+                const std::vector<TraceAnnotation> &annotations)
 {
     json::Array events;
+
+    // Fault windows (and other annotations) live on their own process
+    // so they render as a separate swim-lane above the request spans.
+    if (!annotations.empty()) {
+        const std::int64_t faultPid = -1;
+        json::Object meta;
+        meta["name"] = json::Value("process_name");
+        meta["ph"] = json::Value("M");
+        meta["pid"] = json::Value(faultPid);
+        json::Object metaArgs;
+        metaArgs["name"] = json::Value("faults");
+        meta["args"] = json::Value(std::move(metaArgs));
+        events.push_back(json::Value(std::move(meta)));
+
+        for (const TraceAnnotation &a : annotations) {
+            json::Object ev;
+            ev["name"] = json::Value(a.name);
+            ev["cat"] = json::Value("fault");
+            ev["ph"] = json::Value("X");
+            ev["ts"] = json::Value(toMicros(a.start));
+            ev["dur"] = json::Value(toMicros(a.end - a.start));
+            ev["pid"] = json::Value(faultPid);
+            ev["tid"] = json::Value(static_cast<std::int64_t>(0));
+            events.push_back(json::Value(std::move(ev)));
+        }
+    }
 
     // Process-name metadata: one "process" per client machine.
     std::set<std::uint64_t> clients;

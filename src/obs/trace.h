@@ -122,11 +122,26 @@ class TraceRecorder
 };
 
 /**
+ * A named wall-of-time annotation overlaid on the trace, e.g. an
+ * injected fault window. Kept as a plain struct so producers (the
+ * fault injector) need no dependency on obs beyond this header.
+ */
+struct TraceAnnotation {
+    std::string name;     ///< Display label ("server_stall").
+    SimTime start = 0;    ///< Window start (simulated ns).
+    SimTime end = 0;      ///< Window end (simulated ns).
+};
+
+/**
  * Render traces as a Chrome trace-event JSON document: one "process"
  * per client, one track per request, seven complete ("ph":"X") spans
- * covering the full path. Timestamps are microseconds.
+ * covering the full path. Timestamps are microseconds. Optional
+ * @p annotations (fault windows) render as spans on a dedicated
+ * "faults" process so they line up against request timelines.
  */
-std::string chromeTraceJson(const std::vector<RequestTrace> &traces);
+std::string
+chromeTraceJson(const std::vector<RequestTrace> &traces,
+                const std::vector<TraceAnnotation> &annotations = {});
 
 /**
  * Render traces as a per-request decomposition CSV: one row per

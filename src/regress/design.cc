@@ -41,6 +41,13 @@ FactorialDesign::termNames() const
     return out;
 }
 
+std::size_t
+FactorialDesign::mainEffectTerm(std::size_t factorIdx) const
+{
+    TM_ASSERT(factorIdx < names.size(), "factor index out of range");
+    return std::size_t{1} << factorIdx;
+}
+
 Vec
 FactorialDesign::designRow(const std::vector<double> &levels) const
 {

@@ -49,6 +49,14 @@ class FactorialDesign
     std::vector<std::string> termNames() const;
 
     /**
+     * Index of the main-effect term of factor @p factorIdx (the
+     * singleton subset {factorIdx}); lets callers rank factors by
+     * their isolated coefficient without re-deriving the subset
+     * encoding.
+     */
+    std::size_t mainEffectTerm(std::size_t factorIdx) const;
+
+    /**
      * Design-matrix row for one observation's factor levels:
      * row[t] = product of levels of the factors in term t.
      */

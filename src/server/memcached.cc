@@ -36,7 +36,9 @@ MemcachedServer::receive(RequestPtr request, RespondFn respond)
 
     // Stage 1: interrupt handling on the RSS-steered core.
     hw::WorkItem irq;
-    irq.cycles = machine.spec().irqCycles;
+    // An injected interrupt storm multiplies handling cost (1.0 when
+    // healthy, which is an exact identity on the cycle count).
+    irq.cycles = machine.spec().irqCycles * machine.nic().irqLoadFactor();
     irq.fixedStall = 0;
     irq.allowTurbo = true;
     irq.done = [this, request = std::move(request),

@@ -30,6 +30,20 @@ struct Request {
     std::uint64_t connectionId = 0;
     std::uint64_t clientIndex = 0; ///< Which load-tester instance sent it.
 
+    /** @name Resilience bookkeeping
+     * Every wire attempt gets a fresh seqId, but all attempts of one
+     * logical request share logicalSeqId and the original intendedSend,
+     * so clientLatencyUs() on whichever attempt completes first spans
+     * from the instant the open-loop schedule meant to issue the
+     * request (paper SII: latency includes everything the client waited
+     * through, retries included).
+     * @{
+     */
+    std::uint64_t logicalSeqId = 0; ///< Stable across retries/hedges.
+    std::uint32_t attempt = 0;      ///< 0 = first send, 1+ = retries.
+    bool hedged = false;            ///< True for hedge (backup) sends.
+    /** @} */
+
     OpType op = OpType::Get;
     std::string key;
     std::uint32_t valueBytes = 0;   ///< SET payload size.

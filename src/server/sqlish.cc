@@ -32,7 +32,8 @@ SqlishServer::receive(RequestPtr request, RespondFn respond)
     const unsigned workerCoreId = machine.workerCore(workerIdx);
 
     hw::WorkItem irq;
-    irq.cycles = machine.spec().irqCycles;
+    // Interrupt-storm fault hook: 1.0 (exact identity) when healthy.
+    irq.cycles = machine.spec().irqCycles * machine.nic().irqLoadFactor();
     irq.allowTurbo = true;
     irq.done = [this, request = std::move(request),
                 respond = std::move(respond),

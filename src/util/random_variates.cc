@@ -125,9 +125,12 @@ zeta(std::uint64_t n, double s)
 Zipf::Zipf(std::uint64_t n_, double s_) : n(n_), s(s_)
 {
     if (n_ == 0)
-        throw ConfigError("Zipf requires a non-empty support");
+        throw ConfigError(
+            "Zipf requires a non-empty support (n >= 1)");
     if (!(s_ > 0.0) || s_ == 1.0)
-        throw ConfigError("Zipf skew must be positive and != 1");
+        throw ConfigError(
+            "Zipf skew must be positive and != 1: the Gray et al. "
+            "approximation's exponent 1/(1-s) is singular at s = 1");
     zetaN = zeta(n_, s_);
     zeta2 = zeta(std::min<std::uint64_t>(2, n_), s_);
     alpha = 1.0 / (1.0 - s_);

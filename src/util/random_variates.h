@@ -124,7 +124,10 @@ class Bernoulli
  * Zipfian distribution over {0, ..., n-1} with skew s.
  *
  * Uses the Gray et al. approximation so sampling is O(1) after O(1)
- * setup, matching YCSB's generator behaviourally.
+ * setup, matching YCSB's generator behaviourally. The approximation
+ * raises to the power 1/(1-s), so s = 1 exactly (the classical
+ * harmonic case) is unsupported and rejected at construction; callers
+ * wanting near-harmonic popularity should pass 0.99 or 1.01.
  */
 class Zipf
 {

@@ -19,6 +19,7 @@
 #include "analysis/capacity.h"
 #include "analysis/screening.h"
 #include "core/experiment.h"
+#include "fault/plan.h"
 
 namespace treadmill {
 namespace {
@@ -75,6 +76,78 @@ TEST(DeterminismTest, RunExperimentsMatchesSerialAtEveryThreadCount)
                              parallel[i].achievedRps);
             EXPECT_EQ(serial[i].groundTruthUs,
                       parallel[i].groundTruthUs);
+        }
+    }
+}
+
+/** Every fault class plus the full resilience policy in one schedule:
+ *  the injector's loss Rng streams and timed windows must derive only
+ *  from the run seed, never from scheduling order. */
+std::vector<core::ExperimentParams>
+faultedRuns(std::size_t n)
+{
+    fault::FaultPlan plan;
+    fault::FaultEvent stall;
+    stall.kind = fault::FaultKind::ServerStall;
+    stall.start = milliseconds(4);
+    stall.duration = milliseconds(1);
+    stall.period = milliseconds(6);
+    stall.repeatCount = 4;
+    plan.events.push_back(stall);
+    fault::FaultEvent loss;
+    loss.kind = fault::FaultKind::LinkLoss;
+    loss.target = "client0-uplink";
+    loss.start = milliseconds(2);
+    loss.duration = milliseconds(10);
+    loss.lossProbability = 0.3;
+    plan.events.push_back(loss);
+    fault::FaultEvent storm;
+    storm.kind = fault::FaultKind::NicInterruptStorm;
+    storm.start = milliseconds(8);
+    storm.duration = milliseconds(5);
+    storm.irqCostFactor = 10.0;
+    plan.events.push_back(storm);
+
+    auto runs = seededRuns(n);
+    for (auto &p : runs) {
+        p.faultPlan = plan;
+        p.resilience.enabled = true;
+        p.resilience.timeoutUs = 5000.0;
+        p.resilience.maxRetries = 2;
+        p.resilience.hedge = true;
+        p.resilience.hedgeDelayUs = 2000.0;
+    }
+    return runs;
+}
+
+TEST(DeterminismTest, FaultedRunsMatchSerialAtEveryThreadCount)
+{
+    const auto runs = faultedRuns(4);
+    const auto serial =
+        core::runExperiments(runs, exec::Parallelism::serial());
+    ASSERT_EQ(serial.size(), runs.size());
+
+    for (unsigned threads : {2u, 8u}) {
+        const auto parallel =
+            core::runExperiments(runs, exec::Parallelism{threads});
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            // Bit-exact ground truth, timing, and metrics snapshot --
+            // drop/retry/hedge counters included.
+            EXPECT_EQ(serial[i].groundTruthUs,
+                      parallel[i].groundTruthUs)
+                << "run " << i << " threads " << threads;
+            EXPECT_EQ(serial[i].simulatedTime,
+                      parallel[i].simulatedTime);
+            EXPECT_TRUE(serial[i].metrics == parallel[i].metrics)
+                << "run " << i << " threads " << threads;
+            for (double q : {0.5, 0.99}) {
+                EXPECT_DOUBLE_EQ(
+                    serial[i].aggregatedQuantile(
+                        q, core::AggregationKind::PerInstance),
+                    parallel[i].aggregatedQuantile(
+                        q, core::AggregationKind::PerInstance));
+            }
         }
     }
 }
