@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Run the simulator perf/alloc benchmarks and maintain BENCH_sim.json.
+
+Modes:
+
+  Report (default): run bench_perf_sim and bench_perf_alloc from a build
+  directory, merge the results with the baseline numbers recorded in an
+  existing BENCH_sim.json (or a raw google-benchmark JSON passed via
+  --baseline-raw), and write the combined report:
+
+      python3 scripts/bench_report.py --build-dir build-rel
+
+  Check (CI): run only the guarded benchmark and fail when it has
+  regressed more than --max-regress (default 25%) against the committed
+  report:
+
+      python3 scripts/bench_report.py --build-dir build-rel --check
+
+Note: the pinned google-benchmark accepts --benchmark_min_time as a
+plain double (seconds); suffixed forms like "0.2s" are rejected.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+GUARDED_BENCHMARK = "BM_EventQueuePushPop"
+
+PERF_BENCHMARKS = [
+    "BM_EventQueuePushPop",
+    "BM_SimulationEventChain",
+    "BM_FullExperiment/1000",
+    "BM_FullExperiment/4000",
+]
+
+ALLOC_BENCHMARKS = [
+    ("BM_ClientLoopAllocsPerRequest", "allocs_per_request"),
+    ("BM_EventQueueChurnAllocs", "allocs_per_op"),
+    ("BM_FullExperimentAllocsPerRequest", "allocs_per_request"),
+]
+
+
+def run_benchmark_json(binary, bench_filter, min_time, repetitions=1):
+    """Run a google-benchmark binary, return parsed entries by name."""
+    cmd = [
+        binary,
+        "--benchmark_filter=%s" % bench_filter,
+        "--benchmark_min_time=%g" % min_time,  # plain double, no "s"
+        "--benchmark_format=json",
+    ]
+    if repetitions > 1:
+        cmd.append("--benchmark_repetitions=%d" % repetitions)
+        cmd.append("--benchmark_report_aggregates_only=true")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    data = json.loads(out.stdout)
+    entries = {}
+    for bench in data.get("benchmarks", []):
+        entries[bench["name"]] = bench
+    return entries
+
+
+def best_cpu_time(entries, name, repetitions):
+    """Pick the most noise-robust aggregate available for a benchmark.
+
+    With repetitions the pinned google-benchmark emits only _mean,
+    _median, and _stddev aggregates; the median is the steadiest
+    estimator on a machine with background load. Fall back to the
+    plain single run otherwise.
+    """
+    if repetitions > 1:
+        for suffix in ("_min", "_median", "_mean"):
+            entry = entries.get(name + suffix)
+            if entry is not None:
+                return entry["cpu_time"], entry["time_unit"]
+    entry = entries[name]
+    return entry["cpu_time"], entry["time_unit"]
+
+
+def report(args):
+    sim_binary = os.path.join(args.build_dir, "bench", "bench_perf_sim")
+    alloc_binary = os.path.join(args.build_dir, "bench",
+                                "bench_perf_alloc")
+
+    baseline = {}
+    if args.baseline_raw:
+        with open(args.baseline_raw) as f:
+            raw = json.load(f)
+        for bench in raw.get("benchmarks", []):
+            baseline[bench["name"]] = {
+                "cpu_time": bench["cpu_time"],
+                "time_unit": bench["time_unit"],
+            }
+    elif os.path.exists(args.out):
+        with open(args.out) as f:
+            previous = json.load(f)
+        for name, entry in previous.get("benchmarks", {}).items():
+            baseline[name] = {
+                "cpu_time": entry["baseline"],
+                "time_unit": entry["unit"],
+            }
+
+    pattern = "|".join("^%s$" % name.replace("/", "/")
+                       for name in PERF_BENCHMARKS)
+    entries = run_benchmark_json(sim_binary, pattern, args.min_time,
+                                 args.repetitions)
+
+    benches = {}
+    for name in PERF_BENCHMARKS:
+        cpu, unit = best_cpu_time(entries, name, args.repetitions)
+        record = {"current": round(cpu, 3), "unit": unit}
+        base = baseline.get(name)
+        if base is not None:
+            assert base["time_unit"] == unit, (
+                "unit mismatch for %s" % name)
+            record["baseline"] = round(base["cpu_time"], 3)
+            record["speedup"] = round(base["cpu_time"] / cpu, 3)
+        benches[name] = record
+
+    allocs = {}
+    if os.path.exists(alloc_binary):
+        alloc_entries = run_benchmark_json(alloc_binary, ".*",
+                                           args.min_time)
+        for name, counter in ALLOC_BENCHMARKS:
+            entry = alloc_entries.get(name)
+            if entry is not None and counter in entry:
+                allocs[name] = {counter: round(entry[counter], 6)}
+
+    out = {
+        "_comment": (
+            "Simulator hot-path benchmark report. 'baseline' is the "
+            "pre-optimization commit named below, measured on the same "
+            "machine; regenerate with scripts/bench_report.py. CI "
+            "guards %s against >%d%% regressions." %
+            (GUARDED_BENCHMARK, int(args.max_regress * 100))),
+        "baseline_commit": args.baseline_commit,
+        "guarded_benchmark": GUARDED_BENCHMARK,
+        "max_regression": args.max_regress,
+        "benchmarks": benches,
+        "allocations": allocs,
+    }
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote %s" % args.out)
+    for name, record in benches.items():
+        speed = (" (%.2fx vs baseline)" % record["speedup"]
+                 if "speedup" in record else "")
+        print("  %-28s %10.3f %s%s" %
+              (name, record["current"], record["unit"], speed))
+    for name, counters in allocs.items():
+        for counter, value in counters.items():
+            print("  %-28s %10.6f %s" % (name, value, counter))
+
+
+def check(args):
+    """CI gate: guarded benchmark must stay within max_regress."""
+    with open(args.out) as f:
+        committed = json.load(f)
+    reference = committed["benchmarks"][GUARDED_BENCHMARK]
+
+    sim_binary = os.path.join(args.build_dir, "bench", "bench_perf_sim")
+    entries = run_benchmark_json(sim_binary,
+                                 "^%s$" % GUARDED_BENCHMARK,
+                                 args.min_time, args.repetitions)
+    cpu, unit = best_cpu_time(entries, GUARDED_BENCHMARK,
+                              args.repetitions)
+    assert unit == reference["unit"], "unit mismatch"
+
+    limit = reference["current"] * (1.0 + args.max_regress)
+    print("%s: measured %.3f %s, committed %.3f %s, limit %.3f %s" %
+          (GUARDED_BENCHMARK, cpu, unit, reference["current"], unit,
+           limit, unit))
+    if cpu > limit:
+        print("FAIL: regression beyond %.0f%%" %
+              (args.max_regress * 100))
+        return 1
+    print("OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-rel",
+                        help="CMake build directory with bench/ binaries")
+    parser.add_argument("--out", default="BENCH_sim.json",
+                        help="report file to write (and read as baseline)")
+    parser.add_argument("--baseline-raw", default=None,
+                        help="raw google-benchmark JSON with baseline runs")
+    parser.add_argument("--baseline-commit", default="unknown",
+                        help="commit the baseline numbers were taken at")
+    parser.add_argument("--min-time", type=float, default=0.2,
+                        help="per-benchmark min time, seconds "
+                             "(plain double)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="repetitions; the min aggregate is used")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="allowed fractional regression in --check")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: verify the guarded benchmark only")
+    args = parser.parse_args()
+
+    if args.check:
+        sys.exit(check(args))
+    report(args)
+
+
+if __name__ == "__main__":
+    main()

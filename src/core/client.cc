@@ -83,6 +83,16 @@ LoadTesterInstance::LoadTesterInstance(sim::Simulation &sim_,
             throw ConfigError("hedgeQuantile must lie in (0, 1)");
     }
 
+    // Pre-size the per-send outstanding log for the whole run (the
+    // slack covers timeouts/hedges issuing more attempts than
+    // samples); steady-state sends then never grow the vector.
+    const SampleCollector::Params &col = cfg.collector;
+    outstandingSamples.reserve(
+        (col.warmUpSamples + col.calibrationSamples +
+         col.measurementSamples) *
+            5 / 4 +
+        1024);
+
     if (cfg.loop == ControlLoop::OpenLoop) {
         controller = std::make_unique<OpenLoopController>(
             sim, cfg.requestsPerSecond, rng.substream(7));
@@ -110,7 +120,7 @@ LoadTesterInstance::stopLoad()
 void
 LoadTesterInstance::issueRequest(SimTime intendedSend)
 {
-    auto request = std::make_shared<server::Request>();
+    auto request = requestPool.make();
     request->seqId =
         (static_cast<std::uint64_t>(cfg.index) << 40) | nextSeq++;
     request->logicalSeqId = request->seqId;
@@ -268,7 +278,7 @@ LoadTesterInstance::onHedgeTimer(std::uint64_t logicalId)
 server::RequestPtr
 LoadTesterInstance::cloneAttempt(PendingState &state, bool hedged)
 {
-    auto request = std::make_shared<server::Request>(state.proto);
+    auto request = requestPool.make(state.proto);
     request->seqId =
         (static_cast<std::uint64_t>(cfg.index) << 40) | nextSeq++;
     request->attempt = state.attemptsSent++;

@@ -209,6 +209,9 @@ class LoadTesterInstance
     sim::Simulation &sim;
     ClientParams cfg;
     WorkloadGenerator workload;
+    /** Recycles Request blocks across the instance's lifetime; issue
+     *  and clone paths allocate nothing once the arena is warm. */
+    server::RequestPool requestPool;
     TransmitFn transmit;
     std::unique_ptr<LoadController> controller;
     SampleCollector samples;

@@ -28,8 +28,12 @@ OpenLoopController::start(IssueFn issue_)
 void
 OpenLoopController::scheduleNext()
 {
-    nextSend += static_cast<SimDuration>(
-        std::max(1.0, interArrival.sample(rng)));
+    if (gapPos == kGapBatch) {
+        for (double &g : gaps)
+            g = interArrival.sample(rng);
+        gapPos = 0;
+    }
+    nextSend += static_cast<SimDuration>(std::max(1.0, gaps[gapPos++]));
     sim.scheduleAt(nextSend, [this] {
         if (!running)
             return;

@@ -15,6 +15,7 @@
 #ifndef TREADMILL_CORE_CONTROLLER_H_
 #define TREADMILL_CORE_CONTROLLER_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -86,6 +87,13 @@ class OpenLoopController : public LoadController
     IssueFn issue;
     SimTime nextSend = 0;
     bool running = false;
+
+    /** Batched exponential gaps: the rng is private, so drawing a
+     *  chunk ahead yields the same per-send sequence as one virtual
+     *  sampler call per request, minus the call overhead. */
+    static constexpr std::size_t kGapBatch = 64;
+    std::array<double, kGapBatch> gaps;
+    std::size_t gapPos = kGapBatch; ///< kGapBatch = batch exhausted.
 };
 
 /**

@@ -240,12 +240,13 @@ runExperiment(const ExperimentParams &params)
                 pkt.kind = net::PacketKind::Request;
                 harness->cluster->clientToServer(i).send(
                     harness->sim, pkt,
-                    [harness, request](const net::Packet &arrived) {
+                    [harness, request = std::move(request)](
+                        const net::Packet &arrived) mutable {
                         harness->capture.onRequest(arrived,
                                                    harness->sim.now());
                         request->nicArrival = harness->sim.now();
                         harness->service().receive(
-                            request,
+                            std::move(request),
                             [harness](const server::RequestPtr &resp) {
                                 // Response leaves the server NIC.
                                 net::Packet out;
@@ -259,11 +260,14 @@ runExperiment(const ExperimentParams &params)
                                     std::size_t>(resp->clientIndex);
                                 harness->cluster->serverToClient(client)
                                     .send(harness->sim, out,
-                                          [harness, resp,
-                                           client](const net::Packet &) {
+                                          [harness,
+                                           resp](const net::Packet &) {
                                               resp->clientNicArrival =
                                                   harness->sim.now();
-                                              harness->instances[client]
+                                              harness
+                                                  ->instances[static_cast<
+                                                      std::size_t>(
+                                                      resp->clientIndex)]
                                                   ->onResponseDelivered(
                                                       resp);
                                           });
@@ -272,6 +276,20 @@ runExperiment(const ExperimentParams &params)
             });
         h->instances.push_back(std::move(instance));
     }
+
+    // Size the per-request component vectors up front (headroom for
+    // retried/cloned attempts) so the completion hook never reallocates.
+    const std::size_t expectedResponses =
+        static_cast<std::size_t>(params.tester.clientMachines) *
+            (params.collector.warmUpSamples +
+             params.collector.calibrationSamples +
+             params.collector.measurementSamples) * 5 / 4 +
+        1024;
+    h->serverComponentUs.reserve(expectedResponses);
+    h->networkComponentUs.reserve(expectedResponses);
+    h->clientComponentUs.reserve(expectedResponses);
+    h->getLatencyUs.reserve(expectedResponses);
+    h->setLatencyUs.reserve(expectedResponses);
 
     // Completion hook: decompose latency, stop load at per-instance
     // targets, stop the simulation when every instance is done.

@@ -1,10 +1,11 @@
 #include "core/workload.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstring>
 
 #include "util/error.h"
-#include "util/strings.h"
 
 namespace treadmill {
 namespace core {
@@ -83,16 +84,38 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadConfig &config,
 }
 
 void
+WorkloadGenerator::refill()
+{
+    // Per profile, draw in exactly the order fill() used to: op, key,
+    // value size. The stream is private to this generator, so pulling
+    // a chunk ahead of time yields bit-identical per-request variates.
+    for (Drawn &d : batch) {
+        d.isGet = isGet.sample(rng);
+        d.keyIdx = zipf ? zipf->sample(rng) : rng.nextBelow(cfg.keySpace);
+        d.valueBytes = static_cast<std::uint32_t>(
+            std::clamp(valueSize.sample(rng), 1.0, 64.0 * 1024.0));
+    }
+    batchPos = 0;
+}
+
+void
 WorkloadGenerator::fill(server::Request &request)
 {
-    request.op = isGet.sample(rng) ? server::OpType::Get
-                                   : server::OpType::Set;
-    const std::uint64_t keyIdx =
-        zipf ? zipf->sample(rng) : rng.nextBelow(cfg.keySpace);
-    request.key = strprintf("key:%llu",
-                            static_cast<unsigned long long>(keyIdx));
-    request.valueBytes = static_cast<std::uint32_t>(
-        std::clamp(valueSize.sample(rng), 1.0, 64.0 * 1024.0));
+    if (batchPos == kBatch)
+        refill();
+    const Drawn &d = batch[batchPos++];
+
+    request.op = d.isGet ? server::OpType::Get : server::OpType::Set;
+    // Format "key:<n>" into a stack buffer: same bytes strprintf
+    // produced, without the vsnprintf pass or its temporary string.
+    // Keys for any key space up to ~10^11 fit std::string's inline
+    // buffer, so the assignment does not allocate either.
+    char buf[4 + 20];
+    std::memcpy(buf, "key:", 4);
+    const auto end =
+        std::to_chars(buf + 4, buf + sizeof(buf), d.keyIdx);
+    request.key.assign(buf, end.ptr);
+    request.valueBytes = d.valueBytes;
     request.requestBytes =
         cfg.requestOverheadBytes +
         static_cast<std::uint32_t>(request.key.size()) +

@@ -9,6 +9,7 @@
 #ifndef TREADMILL_CORE_WORKLOAD_H_
 #define TREADMILL_CORE_WORKLOAD_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -71,17 +72,39 @@ class WorkloadGenerator
     /**
      * Populate @p request with op, key, sizes (everything except ids,
      * timestamps, and connection assignment).
+     *
+     * Draws are served from a precomputed batch (see refill()): the
+     * per-request sequence of variates is identical to drawing them
+     * one at a time, so results are bit-exact with the unbatched
+     * generator; the batch only advances this generator's private
+     * stream ahead of consumption.
      */
     void fill(server::Request &request);
 
     const WorkloadConfig &config() const { return cfg; }
 
   private:
+    /** One precomputed request profile. */
+    struct Drawn {
+        std::uint64_t keyIdx;
+        std::uint32_t valueBytes;
+        bool isGet;
+    };
+
+    /** Draw the next kBatch profiles in per-request order. */
+    void refill();
+
     WorkloadConfig cfg;
     Rng rng;
     Bernoulli isGet;
     std::unique_ptr<Zipf> zipf; ///< Null for uniform popularity.
     LogNormal valueSize;
+
+    /** Batched variates: one virtual-call-free array walk per fill()
+     *  instead of three sampler invocations per request. */
+    static constexpr std::size_t kBatch = 64;
+    std::array<Drawn, kBatch> batch;
+    std::size_t batchPos = kBatch; ///< kBatch = batch exhausted.
 };
 
 } // namespace core

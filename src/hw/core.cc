@@ -33,17 +33,22 @@ Core::startNext()
     const SimDuration duration = durationOf(id, item);
     totalBusy += duration;
 
-    sim.schedule(duration, [this, start,
-                            done = std::move(item.done)] {
+    currentStart = start;
+    currentDone = std::move(item.done);
+    sim.schedule(duration, [this] {
         ++completedCount;
         executing = false;
+        // Move the completion state to locals first: starting the next
+        // item overwrites the slots.
+        const SimTime started = currentStart;
+        WorkItem::DoneFn done = std::move(currentDone);
         // Start the next queued item before invoking the callback: the
         // callback may submit new work to this core, and it must queue
         // behind work that was already waiting.
         if (!queue.empty())
             startNext();
         if (done)
-            done(start, sim.now());
+            done(started, sim.now());
     });
 }
 

@@ -11,10 +11,11 @@
 #define TREADMILL_HW_CORE_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "sim/simulation.h"
+#include "util/inline_function.h"
+#include "util/ring_buffer.h"
 #include "util/types.h"
 
 namespace treadmill {
@@ -22,6 +23,11 @@ namespace hw {
 
 /** One unit of CPU work with its completion callback. */
 struct WorkItem {
+    /** Completion callback. Inline capacity of 64 bytes covers the
+     *  server-side closures (this + request handle + respond fn), so
+     *  submitting work never allocates. Move-only, like the queue. */
+    using DoneFn = util::InlineFunction<void(SimTime start, SimTime end), 64>;
+
     /** Frequency-scaled work (CPU cycles). */
     double cycles = 0.0;
     /** Frequency-independent stall time (memory, interconnect). */
@@ -29,7 +35,7 @@ struct WorkItem {
     /** Whether Turbo may accelerate this item. */
     bool allowTurbo = true;
     /** Invoked when the item finishes executing. */
-    std::function<void(SimTime start, SimTime end)> done;
+    DoneFn done;
 };
 
 /**
@@ -75,8 +81,16 @@ class Core
     sim::Simulation &sim;
     unsigned id;
     DurationFn durationOf;
-    std::deque<WorkItem> queue;
+    /** FIFO of waiting items; the ring retains capacity, so a warmed
+     *  core queues and drains work without heap traffic (std::deque
+     *  churns page-sized chunks). */
+    util::RingBuffer<WorkItem> queue;
     bool executing = false;
+    /** Completion state of the executing item, held here so the
+     *  completion event captures only `this` (8 bytes, inline). One
+     *  item executes at a time per core, so a single slot suffices. */
+    WorkItem::DoneFn currentDone;
+    SimTime currentStart = 0;
     SimDuration totalBusy = 0;
     std::uint64_t completedCount = 0;
 };

@@ -7,19 +7,19 @@ void
 PacketCapture::onRequest(const Packet &packet, SimTime when)
 {
     ++requests;
-    pending[packet.seqId] = when;
+    pending.insertOrAssign(packet.seqId, when);
 }
 
 void
 PacketCapture::onResponse(const Packet &packet, SimTime when)
 {
-    const auto it = pending.find(packet.seqId);
-    if (it == pending.end()) {
+    const SimTime *sent = pending.find(packet.seqId);
+    if (sent == nullptr) {
         ++unmatched;
         return;
     }
-    matched.push_back(toMicros(when - it->second));
-    pending.erase(it);
+    matched.push_back(toMicros(when - *sent));
+    pending.erase(packet.seqId);
 }
 
 void

@@ -13,10 +13,10 @@
 #define TREADMILL_NET_CAPTURE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.h"
+#include "util/flat_map.h"
 #include "util/types.h"
 
 namespace treadmill {
@@ -50,7 +50,9 @@ class PacketCapture
     void reset();
 
   private:
-    std::unordered_map<std::uint64_t, SimTime> pending;
+    /// Flat map: one request in flight = one slot, no per-packet
+    /// node allocation (see util/flat_map.h).
+    util::FlatU64Map<SimTime> pending;
     std::vector<double> matched;
     std::uint64_t requests = 0;
     std::uint64_t unmatched = 0;

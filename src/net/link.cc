@@ -39,7 +39,7 @@ Link::transmitTime(std::uint32_t bytes) const
         1.0, static_cast<double>(bytes) / effectiveBytesPerNs));
 }
 
-void
+bool
 Link::send(const Packet &packet, DeliveryFn onDelivered)
 {
     if (faults && faults->lossProbability > 0.0 &&
@@ -48,7 +48,7 @@ Link::send(const Packet &packet, DeliveryFn onDelivered)
         // transmitter and its delivery callback is simply destroyed.
         ++faults->dropped;
         droppedCounter.add();
-        return;
+        return false;
     }
 
     ++totalPackets;
@@ -73,14 +73,20 @@ Link::send(const Packet &packet, DeliveryFn onDelivered)
         faults ? propagation + faults->extraPropagation : propagation;
     const SimTime deliverAt = transmitterFreeAt + effectivePropagation;
     sim.countEvent("net.delivery");
-    Packet copy = packet;
-    sim.scheduleAt(deliverAt,
-                   [this, cb = std::move(onDelivered), copy] {
-                       --inFlightCount;
-                       inFlightGauge.set(
-                           static_cast<double>(inFlightCount));
-                       cb(copy);
-                   });
+    // Park the packet and its callback in the pool; the event then
+    // captures 16 bytes and scheduling allocates nothing.
+    const std::uint32_t slot =
+        pendingPool.acquire(packet, std::move(onDelivered));
+    sim.scheduleAt(deliverAt, [this, slot] {
+        PendingDelivery &pd = pendingPool.get(slot);
+        const Packet delivered = pd.packet;
+        DeliveryFn cb = std::move(pd.deliver);
+        pendingPool.release(slot);
+        --inFlightCount;
+        inFlightGauge.set(static_cast<double>(inFlightCount));
+        cb(delivered);
+    });
+    return true;
 }
 
 void

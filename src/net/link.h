@@ -11,21 +11,28 @@
 #define TREADMILL_NET_LINK_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "net/packet.h"
 #include "obs/metrics.h"
 #include "sim/simulation.h"
+#include "util/inline_function.h"
+#include "util/pool.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace treadmill {
 namespace net {
 
-/** Callback invoked when a packet finishes crossing a link. */
-using DeliveryFn = std::function<void(const Packet &)>;
+/**
+ * Callback invoked when a packet finishes crossing a link.
+ *
+ * Small-buffer optimized: the request/response delivery closures on
+ * the hot path capture at most a pointer and a pooled request handle,
+ * so handing a packet to a link allocates nothing.
+ */
+using DeliveryFn = util::InlineFunction<void(const Packet &), 48>;
 
 /**
  * A point-to-point link modeled as a deterministic single server:
@@ -49,8 +56,12 @@ class Link
 
     /**
      * Send @p packet; @p onDelivered fires when it reaches the far end.
+     *
+     * @return true if the packet was accepted; false if injected loss
+     *         dropped it (the callback is destroyed without firing, so
+     *         callers holding per-packet state can release it).
      */
-    void send(const Packet &packet, DeliveryFn onDelivered);
+    bool send(const Packet &packet, DeliveryFn onDelivered);
 
     /** Total bytes accepted so far. */
     std::uint64_t bytesSent() const { return totalBytes; }
@@ -96,6 +107,14 @@ class Link
     /** Serialization time for @p bytes at this link's bandwidth. */
     SimDuration transmitTime(std::uint32_t bytes) const;
 
+    /** An accepted packet awaiting its delivery instant. Pooled so
+     *  the delivery event captures only (this, slot index): 16 bytes,
+     *  well inside the event's inline buffer. */
+    struct PendingDelivery {
+        Packet packet;
+        DeliveryFn deliver;
+    };
+
     /** Mutable fault state, allocated only when faults are armed. */
     struct FaultState {
         Rng lossRng{1};
@@ -114,6 +133,7 @@ class Link
     std::uint64_t totalBytes = 0;
     std::uint64_t totalPackets = 0;
     std::size_t inFlightCount = 0;
+    util::RawPool<PendingDelivery> pendingPool;
     std::unique_ptr<FaultState> faults;
 
     /** @name Registry handles (resolved once at construction)

@@ -19,25 +19,36 @@ Path::send(sim::Simulation &sim, const Packet &packet,
            DeliveryFn onDelivered) const
 {
     TM_ASSERT(!links.empty(), "sending on an empty path");
-    sendHop(sim, packet, 0, std::move(onDelivered));
+    const std::uint32_t transit =
+        transits.acquire(&sim, packet, std::size_t{0},
+                         std::move(onDelivered));
+    sendHop(transit);
 }
 
 void
-Path::sendHop(sim::Simulation &sim, const Packet &packet, std::size_t hop,
-              DeliveryFn onDelivered) const
+Path::sendHop(std::uint32_t transit) const
 {
-    links[hop]->send(
-        packet,
-        [this, &sim, hop, cb = std::move(onDelivered)](const Packet &p) {
-            if (hop + 1 == links.size()) {
+    Transit &tr = transits.get(transit);
+    const bool accepted = links[tr.hop]->send(
+        tr.packet, [this, transit](const Packet &p) {
+            Transit &tr = transits.get(transit);
+            if (tr.hop + 1 == links.size()) {
+                DeliveryFn cb = std::move(tr.deliver);
+                transits.release(transit);
                 cb(p);
                 return;
             }
             // Switch forwarding latency between consecutive links.
-            sim.schedule(kSwitchHopLatency, [this, &sim, p, hop, cb] {
-                sendHop(sim, p, hop + 1, cb);
-            });
+            ++tr.hop;
+            tr.sim->schedule(kSwitchHopLatency,
+                             [this, transit] { sendHop(transit); });
         });
+    if (!accepted) {
+        // Injected loss swallowed the packet mid-path: drop the
+        // transit (and the captured final callback) immediately so
+        // lossy runs do not accumulate dead per-packet state.
+        transits.release(transit);
+    }
 }
 
 Cluster::Cluster(sim::Simulation &sim, double serverLinkGbps,

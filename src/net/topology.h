@@ -39,6 +39,8 @@ class Path
 {
   public:
     Path() = default;
+    Path(Path &&) noexcept = default;
+    Path &operator=(Path &&) noexcept = default;
 
     /** Append a link to the path. */
     void addLink(Link *link);
@@ -53,11 +55,22 @@ class Path
               DeliveryFn onDelivered) const;
 
   private:
-    /** Transmit on hop @p hop, then recurse across switch latency. */
-    void sendHop(sim::Simulation &sim, const Packet &packet,
-                 std::size_t hop, DeliveryFn onDelivered) const;
+    /** A packet in flight along this path. Pooled so per-hop closures
+     *  capture only (this, slot index) and traversal allocates
+     *  nothing; the final delivery callback rides in the slot. */
+    struct Transit {
+        sim::Simulation *sim;
+        Packet packet;
+        std::size_t hop;
+        DeliveryFn deliver;
+    };
+
+    /** Transmit the transit's current hop; advances across switch
+     *  latency until the last link, then fires its callback. */
+    void sendHop(std::uint32_t transit) const;
 
     std::vector<Link *> links;
+    mutable util::RawPool<Transit> transits;
 };
 
 /**

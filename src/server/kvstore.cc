@@ -40,6 +40,19 @@ KvStore::get(const std::string &key, std::string *value)
     return true;
 }
 
+const std::string *
+KvStore::find(const std::string &key)
+{
+    const auto it = table.find(key);
+    if (it == table.end()) {
+        ++missCount;
+        return nullptr;
+    }
+    ++hitCount;
+    lru.splice(lru.begin(), lru, it->second);
+    return &it->second->value;
+}
+
 bool
 KvStore::erase(const std::string &key)
 {

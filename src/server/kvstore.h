@@ -47,6 +47,19 @@ class KvStore
      */
     bool get(const std::string &key, std::string *value);
 
+    /**
+     * Look up @p key without copying the value out.
+     *
+     * Identical side effects to get() -- the hit/miss counters tick
+     * and a hit refreshes the entry's LRU position -- so callers that
+     * only need the size (the response-building hot path) skip the
+     * per-GET value copy. The pointer is valid until the next
+     * mutating call.
+     *
+     * @return The stored value, or nullptr on miss.
+     */
+    const std::string *find(const std::string &key);
+
     /** Remove @p key if present; returns true when something was
      *  deleted. */
     bool erase(const std::string &key);

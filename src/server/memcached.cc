@@ -87,10 +87,13 @@ MemcachedServer::executeOnWorker(RequestPtr request, RespondFn respond,
             request->hit = true;
             request->responseBytes = 48; // STORED + headers
         } else {
-            std::string value;
-            request->hit = kv.get(request->key, &value);
+            // find() ticks the same counters and refreshes LRU order
+            // like get(), without copying the value per GET.
+            const std::string *value = kv.find(request->key);
+            request->hit = value != nullptr;
             request->responseBytes =
-                48 + static_cast<std::uint32_t>(value.size());
+                48 + static_cast<std::uint32_t>(
+                         value != nullptr ? value->size() : 0);
         }
 
         ++servedCount;

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "util/pool.h"
 #include "util/types.h"
 
 namespace treadmill {
@@ -80,6 +81,15 @@ struct Request {
 };
 
 using RequestPtr = std::shared_ptr<Request>;
+
+/**
+ * Free-list arena for Request objects. make() replaces make_shared on
+ * the issue path: the shared_ptr control block and the Request land in
+ * one recycled block, so a warmed-up client issues requests without
+ * heap allocation. Outstanding RequestPtr handles keep the arena
+ * alive, so pool and simulation teardown order does not matter.
+ */
+using RequestPool = util::Pool<Request>;
 
 /** Callback delivering a completed response. */
 using RespondFn = std::function<void(const RequestPtr &)>;

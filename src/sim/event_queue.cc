@@ -7,25 +7,101 @@
 namespace treadmill {
 namespace sim {
 
+std::uint32_t
+EventQueue::acquireSlot(EventFn fn)
+{
+    std::uint32_t idx;
+    if (freeHead != kNil) {
+        idx = freeHead;
+        freeHead = slots[idx].next;
+        slots[idx].next = kInUse;
+    } else {
+        idx = static_cast<std::uint32_t>(slots.size());
+        slots.emplace_back();
+    }
+    slots[idx].fn = std::move(fn);
+    return idx;
+}
+
+void
+EventQueue::retireSlot(std::uint32_t slot)
+{
+    Slot &s = slots[slot];
+    // Bumping the generation invalidates the outstanding id and the
+    // heap entry in one store. Skip 0 on wrap so ids stay nonzero.
+    if (++s.gen == 0)
+        s.gen = 1;
+    s.next = freeHead;
+    freeHead = slot;
+}
+
 EventId
 EventQueue::push(SimTime when, EventFn fn)
 {
-    const EventId id = nextId++;
-    heap.push_back(Entry{when, nextSeq++, id, std::move(fn)});
-    std::push_heap(heap.begin(), heap.end(), Later{});
-    pendingIds.insert(id);
+    const std::uint32_t slot = acquireSlot(std::move(fn));
+    const HeapEntry entry{when, nextSeq++, slot, slots[slot].gen};
+    heap.push_back(entry); // Placeholder; siftUp writes the real path.
+    siftUp(heap.size() - 1, entry);
     ++liveCount;
-    return id;
+    return (static_cast<EventId>(slots[slot].gen) << 32) | slot;
+}
+
+void
+EventQueue::siftUp(std::size_t hole, HeapEntry entry)
+{
+    while (hole > 0) {
+        const std::size_t parent = (hole - 1) >> 2;
+        if (!earlier(entry, heap[parent]))
+            break;
+        heap[hole] = heap[parent];
+        hole = parent;
+    }
+    heap[hole] = entry;
+}
+
+void
+EventQueue::siftDown(std::size_t hole, HeapEntry entry)
+{
+    const std::size_t n = heap.size();
+    const unsigned __int128 entryKey = orderKey(entry);
+    for (;;) {
+        const std::size_t first = 4 * hole + 1;
+        if (first >= n)
+            break;
+        // Select the earliest child with conditional moves: the
+        // winner of each comparison is data-dependent, so branching
+        // here mispredicts roughly half the time.
+        std::size_t best = first;
+        unsigned __int128 bestKey = orderKey(heap[first]);
+        const std::size_t last = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            const unsigned __int128 k = orderKey(heap[c]);
+            const bool lt = k < bestKey;
+            best = lt ? c : best;
+            bestKey = lt ? k : bestKey;
+        }
+        if (bestKey >= entryKey)
+            break;
+        heap[hole] = heap[best];
+        hole = best;
+    }
+    heap[hole] = entry;
+}
+
+void
+EventQueue::removeTop()
+{
+    const HeapEntry tail = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0, tail);
 }
 
 void
 EventQueue::dropDeadTop()
 {
-    while (!heap.empty() && cancelledIds.count(heap.front().id) > 0) {
-        cancelledIds.erase(heap.front().id);
-        std::pop_heap(heap.begin(), heap.end(), Later{});
-        heap.pop_back();
-    }
+    while (!heap.empty() && !slotLive(heap.front()))
+        removeTop();
 }
 
 SimTime
@@ -41,33 +117,50 @@ EventQueue::pop(SimTime &when)
 {
     dropDeadTop();
     TM_ASSERT(!heap.empty(), "pop() on an empty event queue");
-    std::pop_heap(heap.begin(), heap.end(), Later{});
-    Entry top = std::move(heap.back());
-    heap.pop_back();
-    pendingIds.erase(top.id);
-    --liveCount;
+    const HeapEntry top = heap.front();
     when = top.when;
-    return std::move(top.fn);
+    // Moving out leaves the slot's callback empty, so no extra
+    // destroy is needed before the slot is recycled.
+    EventFn fn = std::move(slots[top.slot].fn);
+    retireSlot(top.slot);
+    --liveCount;
+    removeTop();
+    return fn;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // pendingIds holds exactly the live ids, so one hash erase decides
-    // whether the event is still cancellable -- no heap scan.
-    if (pendingIds.erase(id) == 0)
+    const std::uint32_t slot = static_cast<std::uint32_t>(id);
+    const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots.size())
         return false;
-    cancelledIds.insert(id);
+    Slot &s = slots[slot];
+    if (s.next != kInUse || s.gen != gen)
+        return false;
+    // Destroy the callback now: a cancelled timeout must not keep its
+    // captured request alive until the stale heap entry drains.
+    s.fn = EventFn();
+    retireSlot(slot);
     --liveCount;
+    // The heap entry stays behind and is dropped lazily when it
+    // reaches the top -- same cost model as the old hash-set scheme,
+    // without the two hash operations per push/pop.
     return true;
 }
 
 void
 EventQueue::clear()
 {
+    for (std::uint32_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].next == kInUse) {
+            slots[i].fn = EventFn();
+            retireSlot(i);
+        }
+    }
+    // Generations survive clear(), so ids issued before the clear can
+    // never accidentally cancel events pushed afterwards.
     heap.clear();
-    pendingIds.clear();
-    cancelledIds.clear();
     liveCount = 0;
 }
 

@@ -7,31 +7,48 @@
 #define TREADMILL_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inline_function.h"
 #include "util/types.h"
 
 namespace treadmill {
 namespace sim {
 
-/** Callback executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback executed when an event fires.
+ *
+ * A small-buffer-optimized move-only callable: captures up to 48
+ * bytes (a `this` pointer plus a pooled request handle or a couple of
+ * ids -- every closure on the steady-state request path) are stored
+ * inline, so scheduling an event performs no heap allocation. Larger
+ * captures transparently fall back to the heap.
+ */
+using InlineEvent = util::InlineFunction<void(), 48>;
+using EventFn = InlineEvent;
 
 /** Identifies a scheduled event so it can be cancelled. */
 using EventId = std::uint64_t;
 
 /**
- * A binary min-heap of timestamped events.
+ * A 4-ary implicit min-heap of timestamped events with
+ * generation-stamped slots.
  *
- * Ties are broken by insertion sequence number, so two events scheduled
- * for the same instant always fire in the order they were scheduled.
- * This total order is what makes simulations reproducible. Cancellation
- * is lazy: cancelled entries stay in the heap and are skipped at pop.
- * Pending ids are tracked in a hash set so cancel() is O(1) amortized
- * -- per-request timeout events make cancellation a hot path, and a
- * heap scan per cancel would be quadratic at high load.
+ * Ties are broken by insertion sequence number, so two events
+ * scheduled for the same instant always fire in the order they were
+ * scheduled. This (when, seq) total order is what makes simulations
+ * reproducible, and it is identical to the order the previous
+ * binary-heap implementation produced.
+ *
+ * Layout: the heap itself holds only 24-byte {when, seq, slot, gen}
+ * entries (4-ary so sift-down touches one cache line of children per
+ * level); callbacks live in a side table of recycled slots. An
+ * EventId encodes (generation << 32 | slot); cancel() is a bounds
+ * check plus a generation compare -- no hash lookups -- and bumps the
+ * slot generation so the heap entry is recognized as dead when it
+ * reaches the top. The callback is destroyed eagerly on cancel, so
+ * captured state (e.g. a pooled request held by a timeout closure)
+ * is released immediately rather than when the stale entry drains.
  */
 class EventQueue
 {
@@ -41,7 +58,7 @@ class EventQueue
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Insert an event firing at @p when; returns its id. */
+    /** Insert an event firing at @p when; returns its (nonzero) id. */
     EventId push(SimTime when, EventFn fn);
 
     /** True when no live events remain. */
@@ -63,41 +80,70 @@ class EventQueue
     /**
      * Cancel a pending event.
      *
-     * @return true if the event was pending and is now cancelled;
-     *         false if it already fired or was already cancelled.
+     * The callback (and anything it captured) is destroyed before
+     * this returns. @return true if the event was pending and is now
+     * cancelled; false if it already fired or was already cancelled.
      */
     bool cancel(EventId id);
 
-    /** Drop every pending event. */
+    /** Drop every pending event (callbacks destroyed immediately). */
     void clear();
 
   private:
-    struct Entry {
+    /** Heap entries are 24 bytes; the callback lives in slots[]. */
+    struct HeapEntry {
         SimTime when;
         std::uint64_t seq;
-        EventId id;
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
+
+    struct Slot {
         EventFn fn;
+        /** Matches the heap entry / id while live; bumped on retire.
+         *  Starts at 1 and skips 0 on wrap so ids are never 0. */
+        std::uint32_t gen = 1;
+        /** kInUse while live, else next index in the free list. */
+        std::uint32_t next = kInUse;
     };
 
-    /** Min-heap order: earliest time first, then earliest sequence. */
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+    static constexpr std::uint32_t kInUse = 0xfffffffeu;
 
-    /** Pop cancelled entries off the top of the heap. */
+    /** (when, seq) lexicographic order as one 128-bit compare: the
+     *  composed key makes best-child selection branchless (cmov), and
+     *  sift comparisons on a warm heap are branch-mispredict bound. */
+    static unsigned __int128
+    orderKey(const HeapEntry &e)
+    {
+        return (static_cast<unsigned __int128>(e.when) << 64) | e.seq;
+    }
+
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        return orderKey(a) < orderKey(b);
+    }
+
+    bool
+    slotLive(const HeapEntry &e) const
+    {
+        const Slot &s = slots[e.slot];
+        return s.next == kInUse && s.gen == e.gen;
+    }
+
+    std::uint32_t acquireSlot(EventFn fn);
+    void retireSlot(std::uint32_t slot);
+    void siftUp(std::size_t hole, HeapEntry entry);
+    void siftDown(std::size_t hole, HeapEntry entry);
+    void removeTop();
+    /** Drop cancelled entries off the top of the heap. */
     void dropDeadTop();
 
-    std::vector<Entry> heap;
-    std::unordered_set<EventId> pendingIds; ///< Live (cancellable) ids.
-    std::unordered_set<EventId> cancelledIds;
+    std::vector<HeapEntry> heap;
+    std::vector<Slot> slots;
+    std::uint32_t freeHead = kNil;
     std::uint64_t nextSeq = 0;
-    EventId nextId = 1;
     std::size_t liveCount = 0;
 };
 

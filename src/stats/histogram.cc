@@ -31,6 +31,11 @@ AdaptiveHistogram::AdaptiveHistogram(const std::vector<double> &calibration,
     width = span / static_cast<double>(params.binCount);
     hi = lo + width * static_cast<double>(params.binCount);
     bins.assign(params.binCount, 0);
+    // The parked-overflow buffer holds at most overflowTrigger values
+    // before widenToInclude/absorbOverflow drain it, so one up-front
+    // reservation covers every widen/merge cycle for the histogram's
+    // lifetime -- push_back never reallocates.
+    overflowPending.reserve(params.overflowTrigger);
     for (double x : calibration)
         add(x);
 }
@@ -46,12 +51,12 @@ AdaptiveHistogram::AdaptiveHistogram(double lo_, double hi_,
     width = (hi_ - lo_) / static_cast<double>(params.binCount);
     hi = lo + width * static_cast<double>(params.binCount);
     bins.assign(params.binCount, 0);
+    overflowPending.reserve(params.overflowTrigger);
 }
 
 void
-AdaptiveHistogram::add(double x)
+AdaptiveHistogram::addSlow(double x)
 {
-    ++total;
     if (x < lo) {
         // Below-range samples are rare by construction (the calibration
         // lower bound is half the observed minimum); clamp into bin 0.
@@ -69,6 +74,8 @@ AdaptiveHistogram::add(double x)
         }
         return;
     }
+    // Unordered comparisons (NaN) reach here; keep the historical
+    // clamp-into-range behaviour.
     const auto idx = static_cast<std::size_t>((x - lo) / width);
     ++bins[std::min(idx, bins.size() - 1)];
 }
@@ -248,9 +255,8 @@ StaticHistogram::StaticHistogram(double lo_, double hi_,
 }
 
 void
-StaticHistogram::add(double x)
+StaticHistogram::addSlow(double x)
 {
-    ++total;
     if (x < lo) {
         ++clampedLo;
         ++bins[0];

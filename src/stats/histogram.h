@@ -55,8 +55,24 @@ class AdaptiveHistogram
     AdaptiveHistogram(double lo, double hi)
         : AdaptiveHistogram(lo, hi, Params{}) {}
 
-    /** Record one sample (measurement phase). */
-    void add(double x);
+    /**
+     * Record one sample (measurement phase).
+     *
+     * Inlined fast path: once calibration has sized the range, nearly
+     * every sample lands in [lo, hi) and costs one bounds check plus
+     * one bin increment; under/overflow handling stays out of line.
+     */
+    void
+    add(double x)
+    {
+        ++total;
+        if (x >= lo && x < hi) {
+            const auto idx = static_cast<std::size_t>((x - lo) / width);
+            ++bins[idx < bins.size() ? idx : bins.size() - 1];
+            return;
+        }
+        addSlow(x);
+    }
 
     /** Total recorded samples (including any pending overflow). */
     std::uint64_t count() const { return total; }
@@ -94,7 +110,17 @@ class AdaptiveHistogram
     /** Lower edge of bin @p i. */
     double binLowerEdge(std::size_t i) const;
 
+    /** Capacity of the parked-overflow buffer (regression hook: it is
+     *  pre-reserved to overflowTrigger and must never grow past it). */
+    std::size_t overflowCapacity() const
+    {
+        return overflowPending.capacity();
+    }
+
   private:
+    /** Out-of-range samples: clamp below, park-and-widen above. */
+    void addSlow(double x);
+
     /** Double the range (merging bin pairs) until @p x fits. */
     void widenToInclude(double x);
 
@@ -122,7 +148,19 @@ class StaticHistogram
   public:
     StaticHistogram(double lo, double hi, std::size_t binCount);
 
-    void add(double x);
+    /** Record one sample; in-range fast path inlined as in
+     *  AdaptiveHistogram::add. */
+    void
+    add(double x)
+    {
+        ++total;
+        if (x >= lo && x < hi) {
+            const auto idx = static_cast<std::size_t>((x - lo) / width);
+            ++bins[idx < bins.size() ? idx : bins.size() - 1];
+            return;
+        }
+        addSlow(x);
+    }
 
     std::uint64_t count() const { return total; }
 
@@ -137,6 +175,9 @@ class StaticHistogram
     double cdf(double x) const;
 
   private:
+    /** Clamp an out-of-range sample into the edge bins. */
+    void addSlow(double x);
+
     double lo;
     double hi;
     double width;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "util/error.h"
 #include "util/logging.h"
@@ -111,12 +114,30 @@ Bernoulli::sample(Rng &rng) const
 
 namespace {
 
+/**
+ * The generalized harmonic number H_{n,s}, memoized across Zipf
+ * constructions: the O(n) pow-per-term sum dominates generator setup
+ * when every load-tester instance builds the same popularity model.
+ * The summation order is fixed, so the cached value is bit-identical
+ * to a fresh computation; the mutex only guards construction (the
+ * parallel runner builds workloads on worker threads), never sampling.
+ */
 double
 zeta(std::uint64_t n, double s)
 {
+    static std::mutex mu;
+    static std::map<std::pair<std::uint64_t, double>, double> cache;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        const auto it = cache.find({n, s});
+        if (it != cache.end())
+            return it->second;
+    }
     double sum = 0.0;
     for (std::uint64_t i = 1; i <= n; ++i)
         sum += 1.0 / std::pow(static_cast<double>(i), s);
+    const std::lock_guard<std::mutex> lock(mu);
+    cache.emplace(std::make_pair(n, s), sum);
     return sum;
 }
 

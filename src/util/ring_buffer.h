@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A growable FIFO ring that retains its capacity.
+ *
+ * std::deque allocates and frees page-sized chunks as elements flow
+ * through it, which shows up as steady-state heap traffic in the
+ * per-core work queues. RingBuffer keeps a single power-of-two
+ * buffer that only ever grows, so a warmed-up queue processes any
+ * number of items with zero further allocations.
+ */
+
+#ifndef TREADMILL_UTIL_RING_BUFFER_H_
+#define TREADMILL_UTIL_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace treadmill {
+namespace util {
+
+/** FIFO queue over a power-of-two circular buffer. T must be
+ *  default-constructible and movable. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    void
+    push_back(T value)
+    {
+        if (count == storage.size()) {
+            grow();
+        }
+        storage[(head + count) & (storage.size() - 1)] =
+            std::move(value);
+        ++count;
+    }
+
+    T &
+    front()
+    {
+        TM_ASSERT(count > 0, "RingBuffer::front on empty buffer");
+        return storage[head];
+    }
+
+    void
+    pop_front()
+    {
+        TM_ASSERT(count > 0, "RingBuffer::pop_front on empty buffer");
+        storage[head] = T();
+        head = (head + 1) & (storage.size() - 1);
+        --count;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t newCap =
+            storage.empty() ? 8 : storage.size() * 2;
+        std::vector<T> next(newCap);
+        for (std::size_t i = 0; i < count; ++i) {
+            next[i] =
+                std::move(storage[(head + i) & (storage.size() - 1)]);
+        }
+        storage = std::move(next);
+        head = 0;
+    }
+
+    std::vector<T> storage;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace util
+} // namespace treadmill
+
+#endif // TREADMILL_UTIL_RING_BUFFER_H_

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Regression test: the adaptive histogram's parked-overflow buffer is
+ * pre-reserved from the configured trigger and must never reallocate,
+ * no matter how many widen/merge cycles the tail forces. (A quadratic
+ * reallocation pattern here once showed up as measurable time in
+ * long-tailed experiments.)
+ */
+
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace treadmill {
+namespace stats {
+namespace {
+
+TEST(HistogramReallocTest, OverflowBufferIsPreReservedAtConstruction)
+{
+    AdaptiveHistogram::Params params;
+    params.binCount = 64;
+    params.overflowTrigger = 32;
+
+    const AdaptiveHistogram fromBounds(0.0, 100.0, params);
+    EXPECT_GE(fromBounds.overflowCapacity(), params.overflowTrigger);
+
+    const std::vector<double> calib{1.0, 2.0, 3.0, 50.0};
+    const AdaptiveHistogram fromCalib(calib, params);
+    EXPECT_GE(fromCalib.overflowCapacity(), params.overflowTrigger);
+}
+
+TEST(HistogramReallocTest, RepeatedWidenCyclesNeverReallocate)
+{
+    AdaptiveHistogram::Params params;
+    params.binCount = 64;
+    params.overflowTrigger = 32;
+    AdaptiveHistogram h(0.0, 100.0, params);
+
+    const std::size_t capacityAfterCtor = h.overflowCapacity();
+    ASSERT_GE(capacityAfterCtor, params.overflowTrigger);
+
+    // Drive dozens of full widen cycles: each round parks
+    // overflowTrigger samples above the current range, which triggers
+    // a widen + absorb and empties the parked buffer again.
+    double probe = 200.0;
+    for (int cycle = 0; cycle < 40; ++cycle) {
+        const double top = h.upperBound();
+        for (std::uint64_t i = 0; i < params.overflowTrigger; ++i)
+            h.add(top * 2.0 + probe);
+        EXPECT_EQ(h.overflowCapacity(), capacityAfterCtor)
+            << "widen cycle " << cycle << " reallocated the buffer";
+        probe *= 1.5;
+    }
+    EXPECT_GE(h.rebinCount(), 40u);
+    EXPECT_EQ(h.count(), 40 * params.overflowTrigger);
+}
+
+TEST(HistogramReallocTest, MergeCyclesNeverReallocate)
+{
+    AdaptiveHistogram::Params params;
+    params.binCount = 64;
+    params.overflowTrigger = 32;
+    AdaptiveHistogram target(0.0, 100.0, params);
+    const std::size_t capacityAfterCtor = target.overflowCapacity();
+
+    // Merging ever-wider donors forces target widens without going
+    // through the parked-overflow path; capacity must stay fixed.
+    double hi = 1000.0;
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        AdaptiveHistogram donor(0.0, hi, params);
+        for (int i = 0; i < 100; ++i)
+            donor.add(hi * 0.9);
+        target.merge(donor);
+        EXPECT_EQ(target.overflowCapacity(), capacityAfterCtor)
+            << "merge cycle " << cycle << " reallocated the buffer";
+        hi *= 4.0;
+    }
+    EXPECT_EQ(target.count(), 20u * 100u);
+}
+
+TEST(HistogramReallocTest, FastPathAndSlowPathAgreeOnTotals)
+{
+    AdaptiveHistogram::Params params;
+    params.binCount = 16;
+    params.overflowTrigger = 8;
+    AdaptiveHistogram h(0.0, 10.0, params);
+
+    // In-range (fast path), below-range and above-range (slow path).
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i % 10));
+    h.add(-5.0);
+    for (int i = 0; i < 9; ++i)
+        h.add(100.0);
+    EXPECT_EQ(h.count(), 110u);
+    EXPECT_GE(h.rebinCount(), 1u);
+}
+
+} // namespace
+} // namespace stats
+} // namespace treadmill

@@ -1,0 +1,154 @@
+/** @file Unit tests for the free-list arenas (Pool and RawPool). */
+
+#include "util/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace treadmill {
+namespace util {
+namespace {
+
+struct Tracked {
+    static int liveInstances;
+    int value = 0;
+
+    Tracked() { ++liveInstances; }
+    explicit Tracked(int v) : value(v) { ++liveInstances; }
+    ~Tracked() { --liveInstances; }
+};
+
+int Tracked::liveInstances = 0;
+
+TEST(PoolTest, MakeConstructsAndRecycles)
+{
+    Pool<Tracked> pool;
+    {
+        auto a = pool.make(7);
+        EXPECT_EQ(a->value, 7);
+        EXPECT_EQ(pool.freshAllocations(), 1u);
+    }
+    // The freed block must be recycled, not freshly carved.
+    auto b = pool.make(9);
+    EXPECT_EQ(b->value, 9);
+    EXPECT_EQ(pool.freshAllocations(), 1u);
+    EXPECT_EQ(pool.reusedAllocations(), 1u);
+}
+
+TEST(PoolTest, SteadyStateServesFromFreeList)
+{
+    Pool<Tracked> pool;
+    // Warm: hold a working set, then release it.
+    {
+        std::vector<std::shared_ptr<Tracked>> warm;
+        for (int i = 0; i < 200; ++i)
+            warm.push_back(pool.make(i));
+    }
+    const auto freshAfterWarm = pool.freshAllocations();
+    // Steady state: the same working set size must be served entirely
+    // from the free list.
+    std::vector<std::shared_ptr<Tracked>> steady;
+    for (int i = 0; i < 200; ++i)
+        steady.push_back(pool.make(i));
+    EXPECT_EQ(pool.freshAllocations(), freshAfterWarm);
+    EXPECT_GE(pool.reusedAllocations(), 200u);
+}
+
+TEST(PoolTest, OutstandingHandlesOutliveThePool)
+{
+    std::shared_ptr<Tracked> survivor;
+    {
+        Pool<Tracked> pool;
+        survivor = pool.make(123);
+    }
+    // The allocator inside the shared_ptr keeps the arena alive; the
+    // object must still be intact after the Pool object is gone.
+    ASSERT_TRUE(survivor != nullptr);
+    EXPECT_EQ(survivor->value, 123);
+    survivor.reset();
+    EXPECT_EQ(Tracked::liveInstances, 0);
+}
+
+TEST(PoolTest, DestructorsRunExactlyOnce)
+{
+    Tracked::liveInstances = 0;
+    Pool<Tracked> pool;
+    {
+        std::vector<std::shared_ptr<Tracked>> held;
+        for (int i = 0; i < 50; ++i)
+            held.push_back(pool.make(i));
+        EXPECT_EQ(Tracked::liveInstances, 50);
+    }
+    EXPECT_EQ(Tracked::liveInstances, 0);
+}
+
+TEST(RawPoolTest, AcquireGetRelease)
+{
+    RawPool<std::string> pool;
+    const auto a = pool.acquire(std::string("hello"));
+    const auto b = pool.acquire(std::string("world"));
+    EXPECT_EQ(pool.get(a), "hello");
+    EXPECT_EQ(pool.get(b), "world");
+    EXPECT_EQ(pool.liveCount(), 2u);
+    pool.release(a);
+    EXPECT_EQ(pool.liveCount(), 1u);
+    pool.release(b);
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(RawPoolTest, SlotsAreRecycled)
+{
+    RawPool<int> pool;
+    const auto a = pool.acquire(1);
+    pool.release(a);
+    const auto b = pool.acquire(2);
+    EXPECT_EQ(b, a); // most-recently-freed slot is reused
+    EXPECT_EQ(pool.get(b), 2);
+}
+
+TEST(RawPoolTest, ReferencesStayValidAcrossGrowth)
+{
+    RawPool<int> pool;
+    const auto first = pool.acquire(42);
+    int *p = &pool.get(first);
+    // Grow well past several slabs; slabs are stable so the reference
+    // must not move.
+    for (int i = 0; i < 1000; ++i)
+        pool.acquire(i);
+    EXPECT_EQ(p, &pool.get(first));
+    EXPECT_EQ(*p, 42);
+}
+
+TEST(RawPoolTest, DestructorDestroysLiveSlots)
+{
+    Tracked::liveInstances = 0;
+    {
+        RawPool<Tracked> pool;
+        pool.acquire(1);
+        pool.acquire(2);
+        const auto c = pool.acquire(3);
+        pool.release(c);
+        EXPECT_EQ(Tracked::liveInstances, 2);
+    }
+    EXPECT_EQ(Tracked::liveInstances, 0);
+}
+
+TEST(RawPoolTest, AggregateInitSupportsMultiFieldStructs)
+{
+    struct Pair {
+        int a;
+        double b;
+    };
+    RawPool<Pair> pool;
+    const auto idx = pool.acquire(3, 2.5);
+    EXPECT_EQ(pool.get(idx).a, 3);
+    EXPECT_DOUBLE_EQ(pool.get(idx).b, 2.5);
+}
+
+} // namespace
+} // namespace util
+} // namespace treadmill

@@ -1,0 +1,92 @@
+/** @file Unit tests for the power-of-two ring buffer. */
+
+#include "util/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace treadmill {
+namespace util {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty)
+{
+    RingBuffer<int> rb;
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBufferTest, FifoOrder)
+{
+    RingBuffer<int> rb;
+    for (int i = 0; i < 10; ++i)
+        rb.push_back(i);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, WrapsAroundWithoutGrowth)
+{
+    RingBuffer<int> rb;
+    // Interleave pushes and pops so head wraps the backing store many
+    // times while size stays small.
+    int next = 0;
+    int expect = 0;
+    for (int round = 0; round < 1000; ++round) {
+        rb.push_back(next++);
+        rb.push_back(next++);
+        EXPECT_EQ(rb.front(), expect++);
+        rb.pop_front();
+        EXPECT_EQ(rb.front(), expect++);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, GrowthPreservesOrderAcrossWrap)
+{
+    RingBuffer<int> rb;
+    // Misalign head first so growth happens mid-wrap.
+    for (int i = 0; i < 6; ++i)
+        rb.push_back(i);
+    for (int i = 0; i < 6; ++i)
+        rb.pop_front();
+    for (int i = 0; i < 100; ++i)
+        rb.push_back(i);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+}
+
+TEST(RingBufferTest, MoveOnlyElements)
+{
+    RingBuffer<std::unique_ptr<int>> rb;
+    rb.push_back(std::make_unique<int>(1));
+    rb.push_back(std::make_unique<int>(2));
+    EXPECT_EQ(*rb.front(), 1);
+    auto taken = std::move(rb.front());
+    rb.pop_front();
+    EXPECT_EQ(*taken, 1);
+    EXPECT_EQ(*rb.front(), 2);
+}
+
+TEST(RingBufferTest, PopReleasesElementState)
+{
+    auto token = std::make_shared<int>(9);
+    RingBuffer<std::shared_ptr<int>> rb;
+    rb.push_back(token);
+    EXPECT_EQ(token.use_count(), 2);
+    rb.pop_front();
+    // The vacated slot must not keep the element alive.
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+} // namespace
+} // namespace util
+} // namespace treadmill
