@@ -78,12 +78,57 @@ def best_cpu_time(entries, name, repetitions):
     return entry["cpu_time"], entry["time_unit"]
 
 
+def write_summary_md(path, benches, allocs, committed_current):
+    """Write a markdown delta table (for a CI job summary)."""
+    lines = [
+        "### Benchmark smoke: this run vs committed BENCH_sim.json",
+        "",
+        "| Benchmark | Committed | This run | Delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for name, record in benches.items():
+        committed = committed_current.get(name)
+        if committed:
+            delta = (record["current"] / committed["current"] - 1.0) * 100
+            lines.append("| %s | %.3f %s | %.3f %s | %+.1f%% |" % (
+                name, committed["current"], committed["unit"],
+                record["current"], record["unit"], delta))
+        else:
+            lines.append("| %s | - | %.3f %s | - |" % (
+                name, record["current"], record["unit"]))
+    if allocs:
+        lines += [
+            "",
+            "| Allocation counter | Value |",
+            "|---|---:|",
+        ]
+        for name, counters in allocs.items():
+            for counter, value in counters.items():
+                lines.append("| %s (%s) | %.6f |" %
+                             (name, counter, value))
+    lines.append("")
+    lines.append("CI deltas are noisy on shared runners; only the "
+                 "guarded `--check` gate fails the job.")
+    with open(path, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    print("wrote %s" % path)
+
+
 def report(args):
     sim_binary = os.path.join(args.build_dir, "bench", "bench_perf_sim")
     alloc_binary = os.path.join(args.build_dir, "bench",
                                 "bench_perf_alloc")
 
     baseline = {}
+    committed_current = {}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            committed = json.load(f)
+        for name, entry in committed.get("benchmarks", {}).items():
+            committed_current[name] = {
+                "current": entry["current"],
+                "unit": entry["unit"],
+            }
     if args.baseline_raw:
         with open(args.baseline_raw) as f:
             raw = json.load(f)
@@ -140,6 +185,10 @@ def report(args):
         "benchmarks": benches,
         "allocations": allocs,
     }
+    if args.summary_md:
+        write_summary_md(args.summary_md, benches, allocs,
+                         committed_current)
+
     with open(args.out, "w") as f:
         json.dump(out, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -199,6 +248,9 @@ def main():
                         help="allowed fractional regression in --check")
     parser.add_argument("--check", action="store_true",
                         help="CI mode: verify the guarded benchmark only")
+    parser.add_argument("--summary-md", default=None,
+                        help="also write a markdown delta table here "
+                             "(report mode; for CI job summaries)")
     args = parser.parse_args()
 
     if args.check:

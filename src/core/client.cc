@@ -117,6 +117,8 @@ LoadTesterInstance::stopLoad()
     controller->stop();
 }
 
+// tmlint:hot-path-begin -- everything from issueRequest to response
+// delivery runs once (or more, under retries/hedges) per request.
 void
 LoadTesterInstance::issueRequest(SimTime intendedSend)
 {
@@ -353,6 +355,7 @@ LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
         });
     });
 }
+// tmlint:hot-path-end
 
 double
 LoadTesterInstance::cpuUtilization() const

@@ -25,19 +25,19 @@ ExperimentResult::aggregatedQuantile(double q, AggregationKind kind) const
         return stats::quantile(mergedSamples(), q);
 
     // Extract the metric per instance, then aggregate the metrics.
-    std::vector<double> metrics;
-    metrics.reserve(instances.size());
+    std::vector<double> perInstance;
+    perInstance.reserve(instances.size());
     for (const InstanceReport &inst : instances) {
         const auto it = inst.quantiles.find(q);
         if (it != inst.quantiles.end()) {
-            metrics.push_back(it->second);
+            perInstance.push_back(it->second);
         } else if (!inst.rawSamples.empty()) {
-            metrics.push_back(stats::quantile(inst.rawSamples, q));
+            perInstance.push_back(stats::quantile(inst.rawSamples, q));
         }
     }
-    if (metrics.empty())
+    if (perInstance.empty())
         throw NumericalError("no instance collected samples");
-    return stats::mean(metrics);
+    return stats::mean(perInstance);
 }
 
 std::vector<double>

@@ -10,6 +10,8 @@
  * layer reports simulated seconds, giving an achieved sim-time
  * throughput).
  */
+// tmlint:allow-file(no-wallclock): progress ETA is operator-facing wall
+// time; it never feeds simulated timestamps or measured results.
 
 #ifndef TREADMILL_EXEC_PARALLEL_RUNNER_H_
 #define TREADMILL_EXEC_PARALLEL_RUNNER_H_
@@ -56,7 +58,7 @@ using ProgressFn = std::function<void(const Progress &)>;
 class ParallelRunner
 {
   public:
-    explicit ParallelRunner(Parallelism par = {}) : par(par) {}
+    explicit ParallelRunner(Parallelism par_ = {}) : par(par_) {}
 
     /** Install a progress observer (pass {} to remove). */
     void

@@ -29,6 +29,8 @@ Link::Link(sim::Simulation &sim_, std::string name, double gbps,
         throw ConfigError("link bandwidth must be positive");
 }
 
+// tmlint:hot-path-begin -- send() runs once per packet; the pooled
+// pending-delivery slot keeps event capture at 16 bytes (PR 4).
 SimDuration
 Link::transmitTime(std::uint32_t bytes) const
 {
@@ -88,6 +90,7 @@ Link::send(const Packet &packet, DeliveryFn onDelivered)
     });
     return true;
 }
+// tmlint:hot-path-end
 
 void
 Link::armFaults(const Rng &lossRng)

@@ -31,16 +31,16 @@ Path::sendHop(std::uint32_t transit) const
     Transit &tr = transits.get(transit);
     const bool accepted = links[tr.hop]->send(
         tr.packet, [this, transit](const Packet &p) {
-            Transit &tr = transits.get(transit);
-            if (tr.hop + 1 == links.size()) {
-                DeliveryFn cb = std::move(tr.deliver);
+            Transit &hop = transits.get(transit);
+            if (hop.hop + 1 == links.size()) {
+                DeliveryFn cb = std::move(hop.deliver);
                 transits.release(transit);
                 cb(p);
                 return;
             }
             // Switch forwarding latency between consecutive links.
-            ++tr.hop;
-            tr.sim->schedule(kSwitchHopLatency,
+            ++hop.hop;
+            hop.sim->schedule(kSwitchHopLatency,
                              [this, transit] { sendHop(transit); });
         });
     if (!accepted) {

@@ -1,3 +1,5 @@
+// tmlint:hot-path -- push/pop/cancel run once per simulated event;
+// nothing here may allocate, throw, or touch std::function.
 #include "sim/event_queue.h"
 
 #include <algorithm>

@@ -2,6 +2,8 @@
  * @file
  * The pending-event set for the discrete-event simulation engine.
  */
+// tmlint:hot-path -- every line here is on the steady-state event path
+// (PR 4's zero-allocation property is enforced statically from here).
 
 #ifndef TREADMILL_SIM_EVENT_QUEUE_H_
 #define TREADMILL_SIM_EVENT_QUEUE_H_

@@ -54,6 +54,8 @@ AdaptiveHistogram::AdaptiveHistogram(double lo_, double hi_,
     overflowPending.reserve(params.overflowTrigger);
 }
 
+// tmlint:hot-path-begin -- the out-of-line half of add(): rare per
+// sample, but still inside the measurement loop.
 void
 AdaptiveHistogram::addSlow(double x)
 {
@@ -109,6 +111,7 @@ AdaptiveHistogram::absorbOverflow()
     }
     overflowPending.clear();
 }
+// tmlint:hot-path-end
 
 double
 AdaptiveHistogram::quantile(double q) const
@@ -254,6 +257,8 @@ StaticHistogram::StaticHistogram(double lo_, double hi_,
     bins.assign(binCount, 0);
 }
 
+// tmlint:hot-path-begin -- clamp path of the biased static design,
+// exercised once per out-of-range sample.
 void
 StaticHistogram::addSlow(double x)
 {
@@ -270,6 +275,7 @@ StaticHistogram::addSlow(double x)
     const auto idx = static_cast<std::size_t>((x - lo) / width);
     ++bins[std::min(idx, bins.size() - 1)];
 }
+// tmlint:hot-path-end
 
 double
 StaticHistogram::quantile(double q) const

@@ -10,6 +10,8 @@
  * bound. StaticHistogram clamps out-of-range samples into its edge bins,
  * reproducing the bias of non-adaptive load testers (paper S II-B).
  */
+// tmlint:hot-path -- add() is called once per recorded sample; the
+// inline fast path must stay allocation- and exception-free.
 
 #ifndef TREADMILL_STATS_HISTOGRAM_H_
 #define TREADMILL_STATS_HISTOGRAM_H_
@@ -52,8 +54,8 @@ class AdaptiveHistogram
 
     /** Construct with explicit bounds (no calibration data). */
     AdaptiveHistogram(double lo, double hi, const Params &params);
-    AdaptiveHistogram(double lo, double hi)
-        : AdaptiveHistogram(lo, hi, Params{}) {}
+    AdaptiveHistogram(double lo_, double hi_)
+        : AdaptiveHistogram(lo_, hi_, Params{}) {}
 
     /**
      * Record one sample (measurement phase).

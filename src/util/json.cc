@@ -293,7 +293,7 @@ namespace {
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : text(text) {}
+    explicit Parser(const std::string &text_) : text(text_) {}
 
     Value
     parseDocument()

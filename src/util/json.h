@@ -24,13 +24,15 @@ namespace json {
 
 class Value;
 
+/** The type tag of a JSON value. (Declared before the container
+ *  aliases: gcc's -Wshadow flags enumerators that shadow earlier
+ *  namespace-scope names, even for a scoped enum.) */
+enum class Type { Null, Boolean, Number, String, Array, Object };
+
 /** Ordered key/value storage for JSON objects. */
 using Object = std::map<std::string, Value>;
 /** Element storage for JSON arrays. */
 using Array = std::vector<Value>;
-
-/** The type tag of a JSON value. */
-enum class Type { Null, Boolean, Number, String, Array, Object };
 
 /**
  * A JSON value: null, boolean, number, string, array, or object.

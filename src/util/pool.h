@@ -114,8 +114,8 @@ template <typename U>
 struct PoolAllocator {
     using value_type = U;
 
-    explicit PoolAllocator(std::shared_ptr<PoolCore> core)
-        : core(std::move(core))
+    explicit PoolAllocator(std::shared_ptr<PoolCore> core_)
+        : core(std::move(core_))
     {
     }
 

@@ -1,0 +1,34 @@
+// Seeded determinism violations for tmlint_test. This file is lint
+// fixture data -- it is fed to the Linter, never compiled.
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+unsigned
+ambientSeed()
+{
+    std::random_device rd; // 1x no-ambient-entropy
+    return rd();
+}
+
+long
+wallNow()
+{
+    const auto t = std::chrono::steady_clock::now(); // 1x no-wallclock
+    (void)t;
+    return static_cast<long>(time(nullptr)); // 1x no-wallclock
+}
+
+int
+legacyDraw()
+{
+    srand(42u);    // 1x no-ambient-entropy
+    return rand(); // 1x no-ambient-entropy
+}
+
+const char *kStamp = __DATE__; // 1x no-ambient-entropy
+
+std::mt19937 globalGen; // 1x no-default-seed
+
+} // namespace fixture

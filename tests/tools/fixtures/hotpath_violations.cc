@@ -1,0 +1,25 @@
+// tmlint:hot-path
+// Seeded hot-path violations for tmlint_test: the marker above makes
+// the entire fixture file steady-state. Lint data, never compiled.
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct Hot {
+    std::function<void()> callback; // 1x hot-path-no-function
+
+    void fire(int value)
+    {
+        auto *leak = new int(value);               // 1x hot-path-no-alloc
+        auto boxed = std::make_unique<int>(value); // 1x hot-path-no-alloc
+        std::string label = std::to_string(value); // 2x hot-path-no-string
+        if (label.empty())
+            throw value; // 1x hot-path-no-throw
+        delete leak;
+        (void)boxed;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Layering-cycle fixture module "alpha": includes beta, which
+// includes alpha back. Lint data, never compiled.
+#ifndef FIXTURE_ALPHA_A_H_
+#define FIXTURE_ALPHA_A_H_
+
+#include "beta/b.h"
+
+namespace fixture_alpha {
+inline int a() { return 1; }
+}
+
+#endif

@@ -1,0 +1,13 @@
+// Layering-cycle fixture module "beta": the include below is both an
+// upward include (beta may depend on nothing) and one arc of an
+// alpha -> beta -> alpha cycle. Lint data, never compiled.
+#ifndef FIXTURE_BETA_B_H_
+#define FIXTURE_BETA_B_H_
+
+#include "alpha/a.h"
+
+namespace fixture_beta {
+inline int b() { return 2; }
+}
+
+#endif

@@ -1,0 +1,37 @@
+// Suppression fixture: every seeded violation carries an allow
+// directive with a justification, so tmlint must report nothing.
+// tmlint:allow-file(no-wallclock): fixture exercises file-wide suppression
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+long
+wallNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+unsigned
+blessedSeed()
+{
+    // tmlint:allow-next-line(no-ambient-entropy): exercises next-line form
+    std::random_device rd;
+    return rd();
+}
+
+std::mt19937 gen; // tmlint:allow(no-default-seed): reseeded before use
+
+// tmlint:hot-path-begin
+inline int
+fire(int value)
+{
+    // tmlint:allow-next-line(hot-path-no-alloc): exercises hot suppression
+    int *leak = new int(value);
+    int out = *leak;
+    delete leak;
+    return out;
+}
+// tmlint:hot-path-end
+
+} // namespace fixture

@@ -1,0 +1,46 @@
+// False-positive fixture: every banned name below appears only in
+// comments, strings (including multi-line raw strings), member calls,
+// or declarations -- tmlint must report nothing here.
+//
+// This comment mentions std::random_device, rand(), and also
+// std::chrono::steady_clock, which must all stay inert.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+/* A block comment spanning lines:
+   time(nullptr) and __DATE__ and new and throw
+   must not trip the lexer. */
+
+const char *kDoc =
+    "calls std::random_device and rand() at \"runtime\" \\ daily";
+
+const char *kRaw = R"doc(
+std::chrono::steady_clock::now();
+std::mt19937 gen;
+time(nullptr);
+throw new std::string("boom");
+)doc";
+
+struct Sim {
+    long when = 0;
+    long time(long t) { return when + t; } // a method named time
+    long rand(long r) { return when + r; } // a method named rand
+};
+
+// tmlint:hot-path-begin
+inline long
+steady(Sim &sim, const std::vector<long> &values, const std::string &tag)
+{
+    long total = sim.time(static_cast<long>(tag.size()));
+    total += sim.rand(0);
+    for (long v : values)
+        total += v;
+    return total;
+}
+// tmlint:hot-path-end
+
+std::vector<std::string> kNames; // template argument, no construction
+
+} // namespace fixture

@@ -1,0 +1,503 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace treadmill {
+namespace tmlint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Cursor over raw file text that tracks the current line and shields
+ * the token stream from literals and comments.
+ */
+class Cursor
+{
+  public:
+    Cursor(const std::string &text, LexedFile &out,
+           const std::set<std::string> &knownRules)
+        : src(text), result(out), rules(knownRules)
+    {
+    }
+
+    void run();
+
+  private:
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+    }
+    bool done() const { return pos >= src.size(); }
+    char advance()
+    {
+        const char c = src[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+
+    void skipLineComment();
+    void skipBlockComment();
+    void skipString();
+    void skipRawString();
+    void skipCharLit();
+    void lexNumber();
+    void lexIdentifier();
+    void lexPreprocessor();
+    void parseDirectives(const std::string &comment, int commentLine);
+    std::set<std::string> parseRuleList(const std::string &body,
+                                        int commentLine);
+    void emit(TokKind kind, std::string text, int tokLine)
+    {
+        result.tokens.push_back({kind, std::move(text), tokLine});
+    }
+
+    const std::string &src;
+    LexedFile &result;
+    const std::set<std::string> &rules;
+    std::size_t pos = 0;
+    int line = 1;
+    /** Line of the last unmatched hot-path-begin, or 0. */
+    int openHotBegin = 0;
+    bool atLineStart = true;
+};
+
+void
+Cursor::run()
+{
+    while (!done()) {
+        const char c = peek();
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' ||
+            c == '\f' || c == '\v') {
+            if (c == '\n')
+                atLineStart = true;
+            advance();
+            continue;
+        }
+        if (c == '#' && atLineStart) {
+            lexPreprocessor();
+            continue;
+        }
+        atLineStart = false;
+        if (c == '/' && peek(1) == '/') {
+            skipLineComment();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            skipBlockComment();
+            continue;
+        }
+        if (c == 'R' && peek(1) == '"') {
+            skipRawString();
+            continue;
+        }
+        if (c == '"') {
+            skipString();
+            continue;
+        }
+        if (c == '\'' &&
+            !(!result.tokens.empty() &&
+              result.tokens.back().kind == TokKind::Number)) {
+            // A ' after a number is a C++14 digit separator fragment
+            // only when lexNumber missed it; treat all others as
+            // character literals.
+            skipCharLit();
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            lexNumber();
+            continue;
+        }
+        if (isIdentStart(c)) {
+            lexIdentifier();
+            continue;
+        }
+        if (c == ':' && peek(1) == ':') {
+            const int tokLine = line;
+            advance();
+            advance();
+            emit(TokKind::Punct, "::", tokLine);
+            continue;
+        }
+        emit(TokKind::Punct, std::string(1, c), line);
+        advance();
+    }
+    if (openHotBegin != 0) {
+        result.hotRegions.emplace_back(openHotBegin, 1 << 30);
+        result.directiveErrors.push_back(
+            {openHotBegin,
+             "tmlint:hot-path-begin without a matching hot-path-end "
+             "(region extends to end of file)"});
+    }
+}
+
+void
+Cursor::skipLineComment()
+{
+    const int commentLine = line;
+    std::string text;
+    while (!done() && peek() != '\n')
+        text.push_back(advance());
+    parseDirectives(text, commentLine);
+}
+
+void
+Cursor::skipBlockComment()
+{
+    const int commentLine = line;
+    std::string text;
+    advance(); // '/'
+    advance(); // '*'
+    while (!done()) {
+        if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            break;
+        }
+        text.push_back(advance());
+    }
+    parseDirectives(text, commentLine);
+}
+
+void
+Cursor::skipString()
+{
+    const int tokLine = line;
+    advance(); // opening quote
+    while (!done()) {
+        const char c = advance();
+        if (c == '\\' && !done()) {
+            advance();
+            continue;
+        }
+        if (c == '"' || c == '\n')
+            break; // unterminated-at-newline: recover at the newline
+    }
+    emit(TokKind::String, "", tokLine);
+}
+
+void
+Cursor::skipRawString()
+{
+    const int tokLine = line;
+    advance(); // 'R'
+    advance(); // '"'
+    std::string delim;
+    while (!done() && peek() != '(')
+        delim.push_back(advance());
+    if (!done())
+        advance(); // '('
+    const std::string closer = ")" + delim + "\"";
+    while (!done()) {
+        if (src.compare(pos, closer.size(), closer) == 0) {
+            for (std::size_t i = 0; i < closer.size(); ++i)
+                advance();
+            break;
+        }
+        advance();
+    }
+    emit(TokKind::String, "", tokLine);
+}
+
+void
+Cursor::skipCharLit()
+{
+    const int tokLine = line;
+    advance(); // opening quote
+    while (!done()) {
+        const char c = advance();
+        if (c == '\\' && !done()) {
+            advance();
+            continue;
+        }
+        if (c == '\'' || c == '\n')
+            break;
+    }
+    emit(TokKind::CharLit, "", tokLine);
+}
+
+void
+Cursor::lexNumber()
+{
+    const int tokLine = line;
+    std::string text;
+    while (!done()) {
+        const char c = peek();
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+            c == '\'') {
+            text.push_back(advance());
+            continue;
+        }
+        // Exponent signs: 1e+9, 0x1p-3.
+        if ((c == '+' || c == '-') && !text.empty()) {
+            const char prev = text.back();
+            if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+                text.push_back(advance());
+                continue;
+            }
+        }
+        break;
+    }
+    emit(TokKind::Number, std::move(text), tokLine);
+}
+
+void
+Cursor::lexIdentifier()
+{
+    const int tokLine = line;
+    std::string text;
+    while (!done() && isIdentChar(peek()))
+        text.push_back(advance());
+    emit(TokKind::Identifier, std::move(text), tokLine);
+}
+
+/**
+ * Consume one preprocessor directive (with backslash continuations),
+ * record any #include target, and re-lex the remaining directive text
+ * so identifiers in macro bodies still reach the rules.
+ */
+void
+Cursor::lexPreprocessor()
+{
+    const int startLine = line;
+    std::string text;
+    advance(); // '#'
+    while (!done()) {
+        const char c = peek();
+        if (c == '\n') {
+            if (!text.empty() && text.back() == '\\') {
+                text.pop_back();
+                text.push_back(' ');
+                advance();
+                continue;
+            }
+            break;
+        }
+        if (c == '/' && peek(1) == '/') {
+            skipLineComment();
+            break;
+        }
+        if (c == '/' && peek(1) == '*') {
+            skipBlockComment();
+            text.push_back(' ');
+            continue;
+        }
+        text.push_back(advance());
+    }
+    atLineStart = true;
+
+    // Directive name.
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    std::string name;
+    while (i < text.size() && isIdentChar(text[i]))
+        name.push_back(text[i++]);
+
+    if (name == "include") {
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        if (i < text.size() && (text[i] == '"' || text[i] == '<')) {
+            const bool quoted = text[i] == '"';
+            const char close = quoted ? '"' : '>';
+            std::string target;
+            for (++i; i < text.size() && text[i] != close; ++i)
+                target.push_back(text[i]);
+            result.includes.push_back({target, quoted, startLine});
+        }
+        return; // include targets must not leak identifier tokens
+    }
+
+    // Re-lex the directive body for identifiers (macro bodies, #if
+    // conditions). String/char literals inside are dropped wholesale.
+    bool inStr = false, inChar = false;
+    std::string ident;
+    for (; i <= text.size(); ++i) {
+        const char c = i < text.size() ? text[i] : ' ';
+        if (inStr) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inStr = false;
+            continue;
+        }
+        if (inChar) {
+            if (c == '\\')
+                ++i;
+            else if (c == '\'')
+                inChar = false;
+            continue;
+        }
+        if (c == '"') {
+            inStr = true;
+            continue;
+        }
+        if (c == '\'' && ident.empty()) {
+            inChar = true;
+            continue;
+        }
+        if (isIdentChar(c)) {
+            ident.push_back(c);
+            continue;
+        }
+        if (!ident.empty()) {
+            if (!std::isdigit(static_cast<unsigned char>(ident[0])))
+                emit(TokKind::Identifier, ident, startLine);
+            ident.clear();
+        }
+    }
+}
+
+std::set<std::string>
+Cursor::parseRuleList(const std::string &body, int commentLine)
+{
+    std::set<std::string> out;
+    std::string cur;
+    for (std::size_t i = 0; i <= body.size(); ++i) {
+        const char c = i < body.size() ? body[i] : ',';
+        if (c == ',') {
+            while (!cur.empty() && cur.back() == ' ')
+                cur.pop_back();
+            std::size_t s = 0;
+            while (s < cur.size() && cur[s] == ' ')
+                ++s;
+            cur = cur.substr(s);
+            if (!cur.empty()) {
+                if (cur != "*" && rules.find(cur) == rules.end()) {
+                    result.directiveErrors.push_back(
+                        {commentLine,
+                         "tmlint:allow names unknown rule '" + cur + "'"});
+                }
+                out.insert(cur);
+            }
+            cur.clear();
+            continue;
+        }
+        cur.push_back(c);
+    }
+    if (out.empty()) {
+        result.directiveErrors.push_back(
+            {commentLine, "tmlint:allow with an empty rule list"});
+    }
+    return out;
+}
+
+void
+Cursor::parseDirectives(const std::string &comment, int commentLine)
+{
+    const std::string marker = "tmlint:";
+    std::size_t at = comment.find(marker);
+    while (at != std::string::npos) {
+        std::size_t i = at + marker.size();
+        std::string word;
+        while (i < comment.size() &&
+               (isIdentChar(comment[i]) || comment[i] == '-'))
+            word.push_back(comment[i++]);
+
+        if (word == "hot-path") {
+            result.hotPathFile = true;
+        } else if (word == "hot-path-begin") {
+            if (openHotBegin != 0) {
+                result.directiveErrors.push_back(
+                    {commentLine, "nested tmlint:hot-path-begin"});
+            } else {
+                openHotBegin = commentLine;
+            }
+        } else if (word == "hot-path-end") {
+            if (openHotBegin == 0) {
+                result.directiveErrors.push_back(
+                    {commentLine,
+                     "tmlint:hot-path-end without hot-path-begin"});
+            } else {
+                result.hotRegions.emplace_back(openHotBegin, commentLine);
+                openHotBegin = 0;
+            }
+        } else if (word == "allow" || word == "allow-next-line" ||
+                   word == "allow-file") {
+            std::set<std::string> names;
+            if (i < comment.size() && comment[i] == '(') {
+                const std::size_t close = comment.find(')', i);
+                if (close == std::string::npos) {
+                    result.directiveErrors.push_back(
+                        {commentLine,
+                         "unterminated rule list in tmlint:" + word});
+                    i = comment.size();
+                } else {
+                    names = parseRuleList(
+                        comment.substr(i + 1, close - i - 1), commentLine);
+                    i = close + 1;
+                }
+            } else {
+                result.directiveErrors.push_back(
+                    {commentLine,
+                     "tmlint:" + word + " needs a (rule, ...) list"});
+            }
+            if (word == "allow") {
+                result.lineAllows[commentLine].insert(names.begin(),
+                                                      names.end());
+            } else if (word == "allow-next-line") {
+                result.lineAllows[commentLine + 1].insert(names.begin(),
+                                                          names.end());
+            } else {
+                result.fileAllows.insert(names.begin(), names.end());
+            }
+        } else {
+            result.directiveErrors.push_back(
+                {commentLine,
+                 "unknown tmlint directive '" + word + "'"});
+        }
+        at = comment.find(marker, i);
+    }
+}
+
+} // namespace
+
+bool
+LexedFile::hot(int ln) const
+{
+    if (hotPathFile)
+        return true;
+    for (const auto &r : hotRegions) {
+        if (ln >= r.first && ln <= r.second)
+            return true;
+    }
+    return false;
+}
+
+bool
+LexedFile::allowed(const std::string &rule, int ln) const
+{
+    if (fileAllows.count(rule) != 0 || fileAllows.count("*") != 0)
+        return true;
+    const auto it = lineAllows.find(ln);
+    if (it == lineAllows.end())
+        return false;
+    return it->second.count(rule) != 0 || it->second.count("*") != 0;
+}
+
+LexedFile
+lex(const std::string &content, const std::set<std::string> &knownRules)
+{
+    LexedFile out;
+    Cursor cursor(content, out, knownRules);
+    cursor.run();
+    return out;
+}
+
+} // namespace tmlint
+} // namespace treadmill

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A token/preprocessor-level lexer for tmlint.
+ *
+ * tmlint does not parse C++; it lexes it. The lexer's job is to make
+ * the rule pass trustworthy at the token level: string literals
+ * (including multi-line raw strings), character literals, and comments
+ * must never leak their contents into the identifier stream, because
+ * a `// like rand() does` comment or an error message mentioning
+ * "std::random_device" must not trip a determinism rule. Preprocessor
+ * directives are folded (backslash continuations) and mined for
+ * `#include` targets -- the input to the layering rule -- before their
+ * remaining identifiers rejoin the token stream so that macro bodies
+ * (`#define STAMP __DATE__`) are still visible to the rules.
+ *
+ * Comments are additionally scanned for tmlint control directives:
+ *
+ *   // tmlint:hot-path                      whole file is hot
+ *   // tmlint:hot-path-begin / -end        hot region markers
+ *   // tmlint:allow(rule-a,rule-b): why    suppress on this line
+ *   // tmlint:allow-next-line(rule): why   suppress on the next line
+ *   // tmlint:allow-file(rule): why        suppress in the whole file
+ */
+
+#ifndef TREADMILL_TOOLS_TMLINT_LEXER_H_
+#define TREADMILL_TOOLS_TMLINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace treadmill {
+namespace tmlint {
+
+/** Classification of one lexed token. */
+enum class TokKind {
+    Identifier, ///< identifiers and keywords
+    Number,     ///< numeric literals (value irrelevant to rules)
+    String,     ///< string literal, raw or cooked (contents dropped)
+    CharLit,    ///< character literal (contents dropped)
+    Punct,      ///< punctuation; multi-char only for "::"
+};
+
+/** One token with its source line (1-based). */
+struct Token {
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+/** One `#include` directive found in the file. */
+struct IncludeRef {
+    std::string target; ///< include path as written, without delimiters
+    bool quoted;        ///< true for "..." includes, false for <...>
+    int line;
+};
+
+/** A problem with a tmlint control directive itself. */
+struct DirectiveError {
+    int line;
+    std::string message;
+};
+
+/** Everything the rule pass needs to know about one file. */
+struct LexedFile {
+    std::vector<Token> tokens;
+    std::vector<IncludeRef> includes;
+
+    /** File carries a `tmlint:hot-path` marker. */
+    bool hotPathFile = false;
+    /** Closed [begin, end] line ranges from hot-path-begin/-end. */
+    std::vector<std::pair<int, int>> hotRegions;
+
+    /** line -> rule names suppressed on that line. */
+    std::map<int, std::set<std::string>> lineAllows;
+    /** Rule names suppressed across the whole file. */
+    std::set<std::string> fileAllows;
+
+    std::vector<DirectiveError> directiveErrors;
+
+    /** True if @p line falls inside a hot-path file or region. */
+    bool hot(int line) const;
+
+    /** True if @p rule is suppressed at @p line. */
+    bool allowed(const std::string &rule, int line) const;
+};
+
+/**
+ * Lex @p content (one translation unit or header).
+ *
+ * @param knownRules Valid rule names; an allow() naming anything else
+ *                   is recorded as a DirectiveError so suppressions
+ *                   cannot silently rot when rules are renamed.
+ */
+LexedFile lex(const std::string &content,
+              const std::set<std::string> &knownRules);
+
+} // namespace tmlint
+} // namespace treadmill
+
+#endif // TREADMILL_TOOLS_TMLINT_LEXER_H_

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The tmlint rule engine.
+ *
+ * Feed files to a Linter one at a time; token-level rules (determinism,
+ * hot-path hygiene, unordered containers) report immediately, while the
+ * layering rule accumulates the observed module include graph and emits
+ * upward-include and cycle findings in finish(). Findings come back
+ * sorted (file, line, rule) so output is deterministic regardless of
+ * the order files were fed in.
+ */
+
+#ifndef TREADMILL_TOOLS_TMLINT_LINT_H_
+#define TREADMILL_TOOLS_TMLINT_LINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "lexer.h"
+
+namespace treadmill {
+namespace tmlint {
+
+/** One rule violation. */
+struct Finding {
+    std::string file; ///< repo-relative path
+    int line;         ///< 1-based; 0 for whole-graph findings
+    std::string rule;
+    std::string message;
+};
+
+/** Render a finding as "file:line: [rule] message". */
+std::string formatFinding(const Finding &f);
+
+class Linter
+{
+  public:
+    explicit Linter(Config config);
+
+    /**
+     * Lint one file.
+     *
+     * @param path Repo-relative path with forward slashes (absolute
+     *             paths are normalized to their "src/..." suffix).
+     * @param content The file's full text.
+     */
+    void lintFile(const std::string &path, const std::string &content);
+
+    /** Finish the run: layering cycle check, then sorted findings. */
+    std::vector<Finding> finish();
+
+    /** Files fed so far (for the driver's summary line). */
+    std::size_t fileCount() const { return filesSeen; }
+
+  private:
+    struct IncludeEdge {
+        std::string fromFile;
+        int line;
+        std::string toModule;
+    };
+
+    void checkTokens(const std::string &path, const std::string &module,
+                     const LexedFile &lexed);
+    void checkIncludes(const std::string &path, const std::string &module,
+                       const LexedFile &lexed);
+    void report(const LexedFile &lexed, const std::string &path, int line,
+                const std::string &rule, const std::string &message);
+
+    Config cfg;
+    std::vector<Finding> findings;
+    /** fromModule -> toModule -> first include edge seen. */
+    std::map<std::string, std::map<std::string, IncludeEdge>> moduleGraph;
+    std::size_t filesSeen = 0;
+};
+
+/**
+ * Normalize @p path to a repo-relative form: backslashes become
+ * slashes and everything before a leading "src" / "tools" / "bench" /
+ * "tests" / "examples" component is dropped, so absolute build paths
+ * match config allowlist prefixes.
+ */
+std::string normalizeRepoPath(const std::string &path);
+
+/** The "src/<module>/..." component of @p path, or "" if absent. */
+std::string moduleOfPath(const std::string &path);
+
+} // namespace tmlint
+} // namespace treadmill
+
+#endif // TREADMILL_TOOLS_TMLINT_LINT_H_
