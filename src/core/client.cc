@@ -74,13 +74,22 @@ LoadTesterInstance::LoadTesterInstance(sim::Simulation &sim_,
             throw ConfigError(
                 "retries need a positive resilience timeout");
         if (res.timeoutUs < 0.0 || res.backoffBaseUs < 0.0 ||
-            res.backoffCapUs < 0.0)
+            res.backoffCapUs < 0.0 || res.hedgeDelayUs < 0.0)
             throw ConfigError("resilience delays must be non-negative");
         if (res.jitterFraction < 0.0 || res.jitterFraction >= 1.0)
             throw ConfigError("jitterFraction must lie in [0, 1)");
         if (res.hedge &&
             (res.hedgeQuantile <= 0.0 || res.hedgeQuantile >= 1.0))
             throw ConfigError("hedgeQuantile must lie in (0, 1)");
+        if (res.hedge && res.hedgeDelayUs == 0.0 &&
+            res.hedgeMinSamples == 0)
+            throw ConfigError(
+                "adaptive hedging needs a warm-up floor: with "
+                "hedgeDelayUs == 0 the delay comes from the running "
+                "latency quantile, and with hedgeMinSamples == 0 that "
+                "quantile is read from an empty collector -- the hedge "
+                "fires at send time and doubles offered load; set "
+                "hedgeDelayUs > 0 or hedgeMinSamples > 0");
     }
 
     // Pre-size the per-send outstanding log for the whole run (the
@@ -222,14 +231,31 @@ LoadTesterInstance::onTimeout(std::uint64_t logicalId)
     ++timeoutCount;
     timeoutsCounter.add();
     sim.countEvent("client.timeout");
+    const ResiliencePolicy &res = cfg.resilience;
+    const std::uint64_t logical = it->first;
 
     if (state.retriesLeft == 0) {
+        if (state.hedgeSent && !state.awaitingHedge &&
+            res.timeoutUs > 0.0) {
+            // Retries are exhausted, but a hedge attempt is still in
+            // flight -- it may yet answer. Grant it one final timeout
+            // window instead of failing a request whose backup is
+            // about to deliver (and then counting that delivery as a
+            // late response).
+            state.awaitingHedge = true;
+            state.timeoutEvent = sim.schedule(
+                static_cast<SimDuration>(microseconds(res.timeoutUs)),
+                [this, logical] { onTimeout(logical); });
+            return;
+        }
         // Retry budget exhausted: the logical request failed. Release
         // its slot so a closed loop does not deadlock, and record no
         // latency sample -- a fabricated timeout-latency would distort
         // exactly the tail this subsystem exists to expose.
         if (state.hedgeEvent != 0)
             sim.cancel(state.hedgeEvent);
+        if (state.retryEvent != 0)
+            sim.cancel(state.retryEvent);
         pending.erase(it);
         ++failedCount;
         failedCounter.add();
@@ -242,7 +268,6 @@ LoadTesterInstance::onTimeout(std::uint64_t logicalId)
     }
 
     --state.retriesLeft;
-    const ResiliencePolicy &res = cfg.resilience;
     double delayUs =
         std::min(res.backoffCapUs,
                  res.backoffBaseUs *
@@ -252,12 +277,27 @@ LoadTesterInstance::onTimeout(std::uint64_t logicalId)
     // stream: +/-jitterFraction, uniform.
     delayUs *= 1.0 + res.jitterFraction *
                          (2.0 * resilienceRng.nextDouble() - 1.0);
+    // The clone is built when the backoff elapses, not here: a
+    // response landing during the wait erases the pending entry and
+    // cancels retryEvent, so a completed request can never spawn a
+    // zombie attempt (which would double-send and inflate load).
+    state.retryEvent = sim.schedule(
+        static_cast<SimDuration>(microseconds(delayUs)),
+        [this, logical] { onRetryTimer(logical); });
+}
+
+void
+LoadTesterInstance::onRetryTimer(std::uint64_t logicalId)
+{
+    const auto it = pending.find(logicalId);
+    if (it == pending.end())
+        return; // Answered during the backoff wait.
+    PendingState &state = it->second;
+    state.retryEvent = 0;
     ++retryCount;
     retriesCounter.add();
     sim.countEvent("client.retry");
-    auto clone = cloneAttempt(state, /*hedged=*/false);
-    sim.schedule(static_cast<SimDuration>(microseconds(delayUs)),
-                 [this, clone] { transmitAttempt(clone); });
+    transmitAttempt(cloneAttempt(state, /*hedged=*/false));
 }
 
 void
@@ -328,6 +368,8 @@ LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
                     sim.cancel(state.timeoutEvent);
                 if (state.hedgeEvent != 0)
                     sim.cancel(state.hedgeEvent);
+                if (state.retryEvent != 0)
+                    sim.cancel(state.retryEvent);
                 if (request->hedged) {
                     ++hedgeWinCount;
                     hedgeWinsCounter.add();

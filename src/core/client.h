@@ -67,6 +67,9 @@ struct ResiliencePolicy {
      * After hedgeDelayUs (or, when 0, the collector's running
      * hedgeQuantile estimate once hedgeMinSamples measurements exist)
      * without a response, send one backup copy; first answer wins.
+     * hedgeDelayUs == 0 together with hedgeMinSamples == 0 is
+     * rejected: the zero-sample quantile would fire the hedge at send
+     * time, silently doubling offered load.
      * @{ */
     bool hedge = false;
     double hedgeDelayUs = 0.0;
@@ -184,8 +187,13 @@ class LoadTesterInstance
         unsigned retriesLeft = 0;
         std::uint32_t attemptsSent = 1;
         bool hedgeSent = false;
+        /** Retries are exhausted but a hedge attempt is still in
+         *  flight; one final timeout window runs before the logical
+         *  request is declared failed. */
+        bool awaitingHedge = false;
         sim::EventId timeoutEvent = 0;
         sim::EventId hedgeEvent = 0;
+        sim::EventId retryEvent = 0; ///< Backoff-delayed retry send.
     };
 
     /** Controller callback: build and send one request. */
@@ -199,6 +207,9 @@ class LoadTesterInstance
 
     /** An attempt of @p logicalId hit its timeout. */
     void onTimeout(std::uint64_t logicalId);
+
+    /** The backoff delay of @p logicalId elapsed: send the retry. */
+    void onRetryTimer(std::uint64_t logicalId);
 
     /** The hedge timer of @p logicalId fired unanswered. */
     void onHedgeTimer(std::uint64_t logicalId);

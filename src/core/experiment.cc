@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "fault/injector.h"
+#include "lb/balancer.h"
 #include "net/capture.h"
 #include "net/topology.h"
 #include "server/fault_shim.h"
@@ -108,6 +109,14 @@ struct Harness {
     std::unique_ptr<server::SqlishServer> sqlish;
     std::unique_ptr<net::Cluster> cluster;
     net::PacketCapture capture;
+    /** Sharded backend tier; all empty/null when
+     *  params.cluster.backends == 0, so the classic path builds no
+     *  extra state at all. */
+    std::unique_ptr<net::ShardFabric> fabric;
+    std::unique_ptr<lb::LoadBalancer> balancer;
+    std::vector<std::unique_ptr<hw::Machine>> backendMachines;
+    std::vector<std::unique_ptr<server::MemcachedServer>> backendServers;
+    std::vector<std::unique_ptr<server::ServiceFaultShim>> backendShims;
     /** Fault machinery; both null when params.faultPlan is empty, so
      *  an un-faulted run takes the raw service path untouched. */
     std::unique_ptr<server::ServiceFaultShim> faultShim;
@@ -142,7 +151,109 @@ struct Harness {
             return *faultShim;
         return rawService();
     }
+
+    /** Backend @p i's request sink: its shim when faults are wired. */
+    server::Service &
+    backendService(std::size_t i)
+    {
+        if (!backendShims.empty())
+            return *backendShims[i];
+        return *backendServers[i];
+    }
 };
+
+/**
+ * Build the sharded backend tier: fabric links, per-shard machines and
+ * Memcached services (scoped "backend<i>"), per-shard fault shims when
+ * the run has a fault plan, and the balancer whose forward hooks carry
+ * each request across the fabric and back.
+ */
+void
+wireClusterTier(Harness *h)
+{
+    const ExperimentParams &params = h->params;
+    const ClusterParams &cl = params.cluster;
+    if (params.kind != WorkloadKind::Mcrouter)
+        throw ConfigError(
+            "a backend cluster requires the mcrouter workload");
+    if (cl.racks == 0)
+        throw ConfigError("cluster needs at least one rack");
+    if (cl.racks > cl.backends)
+        throw ConfigError("cluster has more racks than backends");
+
+    std::vector<net::ShardFabric::BackendSpec> specs(cl.backends);
+    for (std::uint32_t b = 0; b < cl.backends; ++b) {
+        specs[b].rack = cl.rackOf(b);
+        specs[b].linkGbps = cl.backendLinkGbps;
+    }
+    h->fabric = std::make_unique<net::ShardFabric>(h->sim, specs);
+
+    lb::BalancerParams bp;
+    bp.backends = cl.backends;
+    bp.replication = cl.replication;
+    bp.vnodesPerBackend = cl.vnodesPerBackend;
+    bp.maxInflightPerBackend = cl.maxInflightPerBackend;
+    bp.policy = cl.policy;
+    bp.edfSlackUs = cl.edfSlackUs;
+    bp.seed = params.seed;
+    h->balancer = std::make_unique<lb::LoadBalancer>(h->sim, bp);
+
+    const bool withShims = !params.faultPlan.empty();
+    for (std::uint32_t b = 0; b < cl.backends; ++b) {
+        // Distinct placement/jitter streams per shard, derived only
+        // from the run seed and the shard id.
+        const std::uint64_t shardSeed = params.seed * 8191 + b + 1;
+        h->backendMachines.push_back(std::make_unique<hw::Machine>(
+            h->sim, params.machine, params.config, shardSeed));
+        h->backendServers.push_back(
+            std::make_unique<server::MemcachedServer>(
+                *h->backendMachines.back(), params.memcachedParams,
+                shardSeed, strprintf("backend%u", b)));
+        if (withShims) {
+            h->backendShims.push_back(
+                std::make_unique<server::ServiceFaultShim>(
+                    h->sim, *h->backendServers.back(),
+                    strprintf("backend%u", b)));
+        }
+
+        lb::LoadBalancer::Backend hook;
+        hook.forward = [h, b](server::RequestPtr request,
+                              server::RespondFn respond) {
+            net::Packet pkt;
+            pkt.seqId = request->seqId;
+            pkt.connectionId = request->connectionId;
+            pkt.bytes = request->requestBytes;
+            pkt.kind = net::PacketKind::Request;
+            h->fabric->toBackend(b).send(
+                h->sim, pkt,
+                [h, b, request = std::move(request),
+                 respond = std::move(respond)](const net::Packet &) mutable {
+                    h->backendService(b).receive(
+                        std::move(request),
+                        [h, b, respond = std::move(respond)](
+                            const server::RequestPtr &resp) {
+                            net::Packet out;
+                            out.seqId = resp->seqId;
+                            out.connectionId = resp->connectionId;
+                            out.bytes = resp->responseBytes;
+                            out.kind = net::PacketKind::Response;
+                            h->fabric->fromBackend(b).send(
+                                h->sim, out,
+                                [respond, resp](const net::Packet &) {
+                                    respond(resp);
+                                });
+                        });
+                });
+        };
+        if (withShims) {
+            server::ServiceFaultShim *shim = h->backendShims.back().get();
+            hook.healthy = [shim] { return !shim->crashed(); };
+        }
+        h->balancer->addBackend(std::move(hook));
+    }
+
+    h->mcrouter->setBackendPool(h->balancer.get());
+}
 
 } // namespace
 
@@ -176,14 +287,35 @@ runExperiment(const ExperimentParams &params)
     h->cluster = std::make_unique<net::Cluster>(
         h->sim, params.machine.nicGbps, clientSpecs);
 
+    if (params.cluster.backends > 0)
+        wireClusterTier(h.get());
+
     if (!params.faultPlan.empty()) {
         h->faultShim = std::make_unique<server::ServiceFaultShim>(
             h->sim, h->rawService());
         h->injector = std::make_unique<fault::FaultInjector>(
             h->sim, params.faultPlan, params.seed);
-        h->injector->attachLinks(h->cluster->allLinks());
+        std::vector<net::Link *> links = h->cluster->allLinks();
+        if (h->fabric) {
+            const std::vector<net::Link *> fabricLinks =
+                h->fabric->allLinks();
+            links.insert(links.end(), fabricLinks.begin(),
+                         fabricLinks.end());
+        }
+        h->injector->attachLinks(links);
         h->injector->attachShim(*h->faultShim);
         h->injector->attachNic(h->machine->mutableNic());
+        for (std::size_t b = 0; b < h->backendShims.size(); ++b)
+            h->injector->attachBackendShim(
+                static_cast<std::uint32_t>(b), *h->backendShims[b]);
+        for (std::size_t b = 0; b < h->backendMachines.size(); ++b)
+            h->injector->attachBackendNic(
+                static_cast<std::uint32_t>(b),
+                h->backendMachines[b]->mutableNic());
+        if (h->fabric) {
+            for (std::uint32_t r = 0; r < params.cluster.racks; ++r)
+                h->injector->attachRackLinks(r, h->fabric->rackLinks(r));
+        }
         h->injector->arm();
     }
 
@@ -320,6 +452,7 @@ runExperiment(const ExperimentParams &params)
                     trace.clientIndex = req->clientIndex;
                     trace.isGet = req->op == server::OpType::Get;
                     trace.hit = req->hit;
+                    trace.backendId = req->backendId;
                     trace.intendedSend = req->intendedSend;
                     trace.clientSend = req->clientSend;
                     trace.nicArrival = req->nicArrival;
@@ -414,6 +547,18 @@ runExperiment(const ExperimentParams &params)
                 report.quantiles[q] = inst.collector().quantile(q);
         }
         result.instances.push_back(std::move(report));
+    }
+
+    if (h->balancer) {
+        for (std::uint32_t b = 0; b < params.cluster.backends; ++b) {
+            result.backendServed.push_back(
+                h->backendServers[b]->served());
+            result.backendDispatched.push_back(
+                h->balancer->dispatchedTo(b));
+        }
+        result.lbQueued = h->balancer->queued();
+        result.lbUnroutable = h->balancer->unroutable();
+        result.lbFailovers = h->balancer->failovers();
     }
 
     // Final gauge values that are only known at harvest time, then a

@@ -29,6 +29,7 @@
 #include "fault/plan.h"
 #include "hw/hardware_config.h"
 #include "hw/machine_spec.h"
+#include "lb/policy.h"
 #include "obs/trace.h"
 #include "server/mcrouter.h"
 #include "server/memcached.h"
@@ -42,6 +43,41 @@ namespace core {
 
 /** Which server the experiment drives. */
 enum class WorkloadKind { Memcached, Mcrouter, Sqlish };
+
+/**
+ * Sharded multi-backend cluster behind the router (Mcrouter runs
+ * only): the router forwards each routed request through a
+ * lb::LoadBalancer onto `backends` Memcached shards, each with its own
+ * hw::Machine and fabric links, instead of the modelled lognormal
+ * backend delay.
+ *
+ * backends == 0 (the default) builds none of it: no extra machines,
+ * links, metric names, or Rng draws, so a single-backend-era config
+ * produces byte-identical output.
+ */
+struct ClusterParams {
+    std::uint32_t backends = 0; ///< 0 = classic modelled-backend path.
+    std::uint32_t replication = 1; ///< Replicas per key on the ring.
+    /** Racks the backends spread across (contiguous blocks; rack 0
+     *  also houses the router, others pay the cross-rack hop). */
+    std::uint32_t racks = 1;
+    /** Balancer saturation cap per backend; 0 = never queue. */
+    std::uint32_t maxInflightPerBackend = 0;
+    lb::PolicyKind policy = lb::PolicyKind::Fcfs;
+    double edfSlackUs = 1000.0; ///< EDF deadline slack.
+    std::uint32_t vnodesPerBackend = 64;
+    double backendLinkGbps = 10.0; ///< Fabric link bandwidth.
+
+    /** Rack of backend @p b under the contiguous-block layout. */
+    std::uint32_t
+    rackOf(std::uint32_t b) const
+    {
+        return racks <= 1 ? 0
+                          : static_cast<std::uint32_t>(
+                                (static_cast<std::uint64_t>(b) * racks) /
+                                backends);
+    }
+};
 
 /** Everything needed to run one load-test experiment. */
 struct ExperimentParams {
@@ -85,6 +121,10 @@ struct ExperimentParams {
     /** Client failure handling, shared by every instance (off by
      *  default; see ResiliencePolicy for the zero-cost guarantee). */
     ResiliencePolicy resilience;
+
+    /** Sharded backend tier behind the router (off by default; only
+     *  meaningful for WorkloadKind::Mcrouter). */
+    ClusterParams cluster;
 
     /** Run seed: placement identity (hysteresis) + all randomness. */
     std::uint64_t seed = 1;
@@ -146,6 +186,18 @@ struct ExperimentResult {
 
     /** Snapshot of the simulation's metrics registry at run end. */
     json::Value metrics;
+
+    /** @name Cluster tier (empty/zero unless cluster.backends > 0)
+     * @{
+     */
+    /** Requests served per backend shard. */
+    std::vector<std::uint64_t> backendServed;
+    /** Requests dispatched per backend shard by the balancer. */
+    std::vector<std::uint64_t> backendDispatched;
+    std::uint64_t lbQueued = 0;     ///< Parked in the dispatch queue.
+    std::uint64_t lbUnroutable = 0; ///< Dropped: all replicas down.
+    std::uint64_t lbFailovers = 0;  ///< Routed past a down primary.
+    /** @} */
 
     /** @name Latency decomposition samples (Fig 3), microseconds
      * @{

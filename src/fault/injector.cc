@@ -54,6 +54,26 @@ FaultInjector::attachNic(hw::Nic &nic_)
     nic = &nic_;
 }
 
+void
+FaultInjector::attachBackendShim(std::uint32_t backend,
+                                 server::ServiceFaultShim &shim_)
+{
+    backendShims[backend] = &shim_;
+}
+
+void
+FaultInjector::attachBackendNic(std::uint32_t backend, hw::Nic &nic_)
+{
+    backendNics[backend] = &nic_;
+}
+
+void
+FaultInjector::attachRackLinks(std::uint32_t rack,
+                               const std::vector<net::Link *> &links)
+{
+    rackLinkHooks[rack] = links;
+}
+
 std::vector<net::Link *>
 FaultInjector::matchLinks(const std::string &target) const
 {
@@ -73,7 +93,28 @@ FaultInjector::scheduleWindow(const FaultEvent &ev, SimTime start)
     std::string label = faultKindName(ev.kind);
     if (!ev.target.empty())
         label += "(" + ev.target + ")";
+    if (ev.backend >= 0)
+        label += strprintf("[backend%d]", ev.backend);
+    if (ev.kind == FaultKind::TorOutage)
+        label += strprintf("[rack%u]", ev.rack);
     windows.push_back({label, start, end});
+
+    // Server faults resolve their hook by backend id: -1 is the
+    // classic front-server shim/NIC, >= 0 a cluster shard's.
+    const auto shimFor = [&]() -> server::ServiceFaultShim * {
+        if (ev.backend < 0)
+            return shim;
+        const auto it =
+            backendShims.find(static_cast<std::uint32_t>(ev.backend));
+        return it != backendShims.end() ? it->second : nullptr;
+    };
+    const auto nicFor = [&]() -> hw::Nic * {
+        if (ev.backend < 0)
+            return nic;
+        const auto it =
+            backendNics.find(static_cast<std::uint32_t>(ev.backend));
+        return it != backendNics.end() ? it->second : nullptr;
+    };
 
     const auto applied = [this] {
         ++appliedCount;
@@ -124,10 +165,12 @@ FaultInjector::scheduleWindow(const FaultEvent &ev, SimTime start)
         break;
       }
       case FaultKind::ServerStall: {
-        if (shim == nullptr)
-            throw ConfigError(
-                "server_stall fault needs an attached server shim");
-        server::ServiceFaultShim *target = shim;
+        server::ServiceFaultShim *target = shimFor();
+        if (target == nullptr)
+            throw ConfigError(strprintf(
+                "server_stall fault (backend %d) needs an attached "
+                "server shim",
+                ev.backend));
         sim.scheduleAt(start, [target, end, applied] {
             target->beginStall(end);
             applied();
@@ -135,10 +178,12 @@ FaultInjector::scheduleWindow(const FaultEvent &ev, SimTime start)
         break;
       }
       case FaultKind::ServerCrash: {
-        if (shim == nullptr)
-            throw ConfigError(
-                "server_crash fault needs an attached server shim");
-        server::ServiceFaultShim *target = shim;
+        server::ServiceFaultShim *target = shimFor();
+        if (target == nullptr)
+            throw ConfigError(strprintf(
+                "server_crash fault (backend %d) needs an attached "
+                "server shim",
+                ev.backend));
         const SimDuration warmup = ev.warmup;
         const SimDuration penalty = ev.warmupPenalty;
         sim.scheduleAt(start, [target, end, warmup, penalty, applied] {
@@ -150,10 +195,12 @@ FaultInjector::scheduleWindow(const FaultEvent &ev, SimTime start)
         break;
       }
       case FaultKind::NicInterruptStorm: {
-        if (nic == nullptr)
-            throw ConfigError(
-                "nic_storm fault needs an attached server NIC");
-        hw::Nic *target = nic;
+        hw::Nic *target = nicFor();
+        if (target == nullptr)
+            throw ConfigError(strprintf(
+                "nic_storm fault (backend %d) needs an attached "
+                "server NIC",
+                ev.backend));
         const double factor = ev.irqCostFactor;
         sim.scheduleAt(start, [target, factor, applied] {
             target->setIrqLoadFactor(factor);
@@ -161,6 +208,37 @@ FaultInjector::scheduleWindow(const FaultEvent &ev, SimTime start)
         });
         sim.scheduleAt(end,
                        [target] { target->setIrqLoadFactor(1.0); });
+        break;
+      }
+      case FaultKind::TorOutage: {
+        const auto it = rackLinkHooks.find(ev.rack);
+        if (it == rackLinkHooks.end() || it->second.empty())
+            throw ConfigError(strprintf(
+                "tor_outage fault targets rack %u but no rack links "
+                "are attached",
+                ev.rack));
+        // One switch failing over degrades every link behind it in
+        // the same instant -- the correlated version of link_degrade
+        // plus link_loss.
+        const std::vector<net::Link *> links = it->second;
+        const double bw = ev.bandwidthFactor;
+        const SimDuration extra = ev.extraLatency;
+        const double p = ev.lossProbability;
+        sim.scheduleAt(start, [links, bw, extra, p, applied] {
+            for (net::Link *link : links) {
+                link->setBandwidthFactor(bw);
+                link->setExtraPropagation(extra);
+                link->setLossProbability(p);
+            }
+            applied();
+        });
+        sim.scheduleAt(end, [links] {
+            for (net::Link *link : links) {
+                link->setBandwidthFactor(1.0);
+                link->setExtraPropagation(0);
+                link->setLossProbability(0.0);
+            }
+        });
         break;
       }
     }

@@ -23,6 +23,7 @@
 #define TREADMILL_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "fault/plan.h"
@@ -62,6 +63,23 @@ class FaultInjector
 
     /** Attach the server NIC for NicInterruptStorm events. */
     void attachNic(hw::Nic &nic);
+
+    /** Attach backend @p backend's shim: the hook for server faults
+     *  whose event names that backend id. */
+    void attachBackendShim(std::uint32_t backend,
+                           server::ServiceFaultShim &shim);
+
+    /** Attach backend @p backend's machine NIC for per-backend
+     *  nic_storm events. */
+    void attachBackendNic(std::uint32_t backend, hw::Nic &nic);
+
+    /**
+     * Attach rack @p rack's link set: the TorOutage blast radius.
+     * The links must also appear in an attachLinks() call (that is
+     * where their loss streams are armed).
+     */
+    void attachRackLinks(std::uint32_t rack,
+                         const std::vector<net::Link *> &links);
     /** @} */
 
     /**
@@ -96,6 +114,9 @@ class FaultInjector
     std::vector<net::Link *> linkHooks;
     server::ServiceFaultShim *shim = nullptr;
     hw::Nic *nic = nullptr;
+    std::map<std::uint32_t, server::ServiceFaultShim *> backendShims;
+    std::map<std::uint32_t, hw::Nic *> backendNics;
+    std::map<std::uint32_t, std::vector<net::Link *>> rackLinkHooks;
 
     std::vector<obs::TraceAnnotation> windows;
     std::uint64_t appliedCount = 0;

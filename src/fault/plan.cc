@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 #include "util/error.h"
 #include "util/strings.h"
@@ -20,6 +21,7 @@ kindNames()
         {FaultKind::ServerStall, "server_stall"},
         {FaultKind::ServerCrash, "server_crash"},
         {FaultKind::NicInterruptStorm, "nic_storm"},
+        {FaultKind::TorOutage, "tor_outage"},
     };
     return names;
 }
@@ -76,6 +78,8 @@ FaultPlan::fromJson(const json::Value &doc)
         ev.start = fromMs(entry.numberOr("start_ms", 0.0));
         ev.duration = fromMs(entry.numberOr("duration_ms", 0.0));
         ev.target = entry.stringOr("target", "");
+        ev.backend = static_cast<int>(entry.intOr("backend", -1));
+        ev.rack = static_cast<std::uint32_t>(entry.intOr("rack", 0));
         ev.period = fromMs(entry.numberOr("period_ms", 0.0));
         ev.repeatCount = static_cast<std::uint32_t>(
             entry.intOr("repeat", 1));
@@ -104,6 +108,9 @@ FaultPlan::toJson() const
         entry["duration_ms"] = json::Value(toMs(ev.duration));
         if (!ev.target.empty())
             entry["target"] = json::Value(ev.target);
+        if (ev.backend >= 0)
+            entry["backend"] =
+                json::Value(static_cast<std::int64_t>(ev.backend));
         if (ev.repeatCount > 1) {
             entry["period_ms"] = json::Value(toMs(ev.period));
             entry["repeat"] = json::Value(
@@ -128,6 +135,16 @@ FaultPlan::toJson() const
           case FaultKind::NicInterruptStorm:
             entry["irq_cost_factor"] = json::Value(ev.irqCostFactor);
             break;
+          case FaultKind::TorOutage:
+            entry["rack"] =
+                json::Value(static_cast<std::int64_t>(ev.rack));
+            entry["bandwidth_factor"] = json::Value(ev.bandwidthFactor);
+            entry["extra_latency_us"] =
+                json::Value(toMicros(ev.extraLatency));
+            if (ev.lossProbability > 0.0)
+                entry["loss_probability"] =
+                    json::Value(ev.lossProbability);
+            break;
         }
         events_.push_back(json::Value(std::move(entry)));
     }
@@ -148,6 +165,13 @@ FaultPlan::validate() const
         if (ev.repeatCount > 1 && ev.period < ev.duration)
             throw ConfigError(
                 kind + " fault period must cover its duration");
+        if (ev.backend < -1)
+            throw ConfigError(kind + " fault backend must be >= -1");
+        if (ev.backend >= 0 && ev.kind != FaultKind::ServerStall &&
+            ev.kind != FaultKind::ServerCrash &&
+            ev.kind != FaultKind::NicInterruptStorm)
+            throw ConfigError(
+                kind + " fault does not take a backend target");
         switch (ev.kind) {
           case FaultKind::LinkLoss:
             if (ev.lossProbability < 0.0 || ev.lossProbability > 1.0)
@@ -169,16 +193,29 @@ FaultPlan::validate() const
             if (!(ev.irqCostFactor >= 1.0))
                 throw ConfigError("irq_cost_factor must be >= 1");
             break;
+          case FaultKind::TorOutage:
+            if (!(ev.bandwidthFactor > 0.0))
+                throw ConfigError("bandwidth_factor must be positive");
+            if (ev.lossProbability < 0.0 || ev.lossProbability > 1.0)
+                throw ConfigError(
+                    "loss_probability must lie in [0, 1]");
+            break;
         }
     }
 
     // Overlapping windows of the same kind on the same target would
-    // make the revert order ambiguous: reject them.
-    std::map<std::pair<int, std::string>,
+    // make the revert order ambiguous: reject them. The same kind on
+    // two different backends (or two different racks) never interferes,
+    // so the key includes the backend/rack dimension.
+    std::map<std::tuple<int, std::string, int>,
              std::vector<std::pair<SimTime, SimTime>>>
         windows;
     for (const FaultEvent &ev : events) {
-        auto &list = windows[{static_cast<int>(ev.kind), ev.target}];
+        const int shard = ev.kind == FaultKind::TorOutage
+                              ? static_cast<int>(ev.rack)
+                              : ev.backend;
+        auto &list =
+            windows[{static_cast<int>(ev.kind), ev.target, shard}];
         for (std::uint32_t k = 0; k < ev.repeatCount; ++k) {
             const SimTime start = ev.start + k * ev.period;
             list.emplace_back(start, start + ev.duration);
@@ -191,8 +228,8 @@ FaultPlan::validate() const
             if (list[i].first < list[i - 1].second) {
                 throw ConfigError(strprintf(
                     "overlapping %s fault windows at %.3f ms",
-                    faultKindName(
-                        static_cast<FaultKind>(entry.first.first))
+                    faultKindName(static_cast<FaultKind>(
+                                      std::get<0>(entry.first)))
                         .c_str(),
                     static_cast<double>(list[i].first) / 1e6));
             }

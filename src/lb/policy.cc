@@ -1,0 +1,120 @@
+#include "lb/policy.h"
+
+#include <utility>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace lb {
+
+namespace {
+
+const std::vector<std::pair<PolicyKind, std::string>> &
+kindNames()
+{
+    static const std::vector<std::pair<PolicyKind, std::string>> names{
+        {PolicyKind::Fcfs, "fcfs"},
+        {PolicyKind::PowerOfTwo, "p2c"},
+        {PolicyKind::Edf, "edf"},
+    };
+    return names;
+}
+
+} // namespace
+
+const std::string &
+policyKindName(PolicyKind kind)
+{
+    for (const auto &entry : kindNames()) {
+        if (entry.first == kind)
+            return entry.second;
+    }
+    throw ConfigError("unknown LB policy kind");
+}
+
+PolicyKind
+policyKindFromName(const std::string &name)
+{
+    for (const auto &entry : kindNames()) {
+        if (entry.second == name)
+            return entry.first;
+    }
+    throw ConfigError(
+        strprintf("unknown LB policy \"%s\"", name.c_str()));
+}
+
+std::size_t
+FcfsPolicy::select(const std::vector<std::uint32_t> &candidates,
+                   const BackendSnapshot &, const server::Request &)
+{
+    TM_ASSERT(!candidates.empty(), "policy given no candidates");
+    return 0;
+}
+
+PowerOfTwoPolicy::PowerOfTwoPolicy(std::uint64_t seed)
+    : rng(Rng(0x1b2d2c701ce5ull).substream(seed))
+{
+}
+
+std::size_t
+PowerOfTwoPolicy::select(const std::vector<std::uint32_t> &candidates,
+                         const BackendSnapshot &backends,
+                         const server::Request &)
+{
+    TM_ASSERT(!candidates.empty(), "policy given no candidates");
+    const std::size_t n = candidates.size();
+    if (n == 1)
+        return 0;
+    // Sample two distinct candidate slots; ship to the emptier one.
+    // Ties go to the first sample, which is itself uniform.
+    const std::size_t a = rng.nextBelow(n);
+    std::size_t b = rng.nextBelow(n - 1);
+    if (b >= a)
+        ++b;
+    const std::uint64_t loadA = backends.inflight[candidates[a]];
+    const std::uint64_t loadB = backends.inflight[candidates[b]];
+    return loadB < loadA ? b : a;
+}
+
+EdfPolicy::EdfPolicy(double slackUs_) : slackUs(slackUs_)
+{
+    if (slackUs <= 0.0)
+        throw ConfigError("EDF slack must be positive");
+}
+
+std::size_t
+EdfPolicy::select(const std::vector<std::uint32_t> &candidates,
+                  const BackendSnapshot &, const server::Request &)
+{
+    TM_ASSERT(!candidates.empty(), "policy given no candidates");
+    return 0;
+}
+
+double
+EdfPolicy::queuePriority(const server::Request &request) const
+{
+    // Deadline in simulated time: the instant the open-loop schedule
+    // meant to issue the request plus the latency budget. Requests
+    // already deep in their budget sort first.
+    return static_cast<double>(request.intendedSend) +
+           slackUs * 1000.0;
+}
+
+std::unique_ptr<SchedulingPolicy>
+makePolicy(PolicyKind kind, std::uint64_t seed, double edfSlackUs)
+{
+    switch (kind) {
+      case PolicyKind::Fcfs:
+        return std::make_unique<FcfsPolicy>();
+      case PolicyKind::PowerOfTwo:
+        return std::make_unique<PowerOfTwoPolicy>(seed);
+      case PolicyKind::Edf:
+        return std::make_unique<EdfPolicy>(edfSlackUs);
+    }
+    throw ConfigError("unknown LB policy kind");
+}
+
+} // namespace lb
+} // namespace treadmill

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Pluggable load-balancer scheduling policies.
+ *
+ * A policy answers two questions the balancer asks on every request:
+ * which of the key's replicas receives it (selection), and in what
+ * order queued requests dispatch once a backend slot frees (ordering).
+ * The three shipped policies cover the classical design space:
+ *
+ *  - FCFS: primary replica, arrival-order dispatch -- the baseline
+ *    router every comparison starts from.
+ *  - Power-of-two-choices: sample two distinct replicas, send to the
+ *    one with fewer requests in flight (Mitzenmacher's exponential
+ *    improvement over random placement); arrival-order dispatch.
+ *  - EDF: primary replica, but the dispatch queue orders by deadline
+ *    (intended send + slack), so requests already deep in their
+ *    latency budget jump ahead -- the tail-aware discipline.
+ *
+ * Policies are deterministic: the only randomness (power-of-two's
+ * replica sampling) draws from an Rng seeded by the run seed.
+ */
+
+#ifndef TREADMILL_LB_POLICY_H_
+#define TREADMILL_LB_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/request.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace treadmill {
+namespace lb {
+
+/** The shipped policies, selectable from experiment configs. */
+enum class PolicyKind { Fcfs, PowerOfTwo, Edf };
+
+/** Canonical config name ("fcfs", "p2c", "edf"). */
+const std::string &policyKindName(PolicyKind kind);
+
+/** Inverse of policyKindName(); throws ConfigError on unknown names. */
+PolicyKind policyKindFromName(const std::string &name);
+
+/** Read-only per-backend state the balancer exposes to policies. */
+struct BackendSnapshot {
+    const std::uint64_t *inflight = nullptr; ///< Per-backend in flight.
+    std::size_t count = 0;                   ///< Number of backends.
+};
+
+/**
+ * The common policy interface behind the load balancer.
+ *
+ * Both hooks run on the dispatch hot path; implementations must not
+ * allocate or touch ambient state.
+ */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick the element of @p candidates (healthy replicas of the
+     * request's key, primary first, never empty) that receives
+     * @p request.
+     *
+     * @return An index into @p candidates.
+     */
+    virtual std::size_t select(
+        const std::vector<std::uint32_t> &candidates,
+        const BackendSnapshot &backends,
+        const server::Request &request) = 0;
+
+    /**
+     * Dispatch priority of @p request when every replica is saturated
+     * and the balancer must queue (lower dispatches first; ties break
+     * by arrival order). The default is arrival order itself: all
+     * priorities equal.
+     */
+    virtual double
+    queuePriority(const server::Request &request) const
+    {
+        (void)request;
+        return 0.0;
+    }
+};
+
+/** FCFS: primary replica, arrival-order queue. */
+class FcfsPolicy : public SchedulingPolicy
+{
+  public:
+    const char *name() const override { return "fcfs"; }
+    std::size_t select(const std::vector<std::uint32_t> &candidates,
+                       const BackendSnapshot &backends,
+                       const server::Request &request) override;
+};
+
+/** Power-of-two-choices over the replica set by in-flight count. */
+class PowerOfTwoPolicy : public SchedulingPolicy
+{
+  public:
+    /** @param seed Run-derived stream for the two-replica sample. */
+    explicit PowerOfTwoPolicy(std::uint64_t seed);
+
+    const char *name() const override { return "p2c"; }
+    std::size_t select(const std::vector<std::uint32_t> &candidates,
+                       const BackendSnapshot &backends,
+                       const server::Request &request) override;
+
+  private:
+    Rng rng;
+};
+
+/** Earliest-deadline-first dispatch from the balancer queue. */
+class EdfPolicy : public SchedulingPolicy
+{
+  public:
+    /** @param slackUs Latency budget added to each request's intended
+     *  send to form its deadline. */
+    explicit EdfPolicy(double slackUs);
+
+    const char *name() const override { return "edf"; }
+    std::size_t select(const std::vector<std::uint32_t> &candidates,
+                       const BackendSnapshot &backends,
+                       const server::Request &request) override;
+    double queuePriority(const server::Request &request) const override;
+
+  private:
+    double slackUs;
+};
+
+/**
+ * Build the policy for @p kind. @p seed feeds power-of-two's sampling
+ * stream; @p edfSlackUs is EDF's deadline slack. Both are ignored by
+ * policies that do not use them.
+ */
+std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
+                                             std::uint64_t seed,
+                                             double edfSlackUs);
+
+} // namespace lb
+} // namespace treadmill
+
+#endif // TREADMILL_LB_POLICY_H_

@@ -115,5 +115,90 @@ Cluster::serverToClient(std::size_t i) const
     return toClient[i];
 }
 
+ShardFabric::ShardFabric(sim::Simulation &sim,
+                         const std::vector<BackendSpec> &backends)
+{
+    if (backends.empty())
+        throw ConfigError("shard fabric needs at least one backend");
+
+    forward.resize(backends.size());
+    reverse.resize(backends.size());
+    racks.resize(backends.size());
+
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        const BackendSpec &spec = backends[i];
+        racks[i] = spec.rack;
+        // The router tier sits on rack 0; backends elsewhere pay the
+        // aggregation-layer hop both ways.
+        const SimDuration extra = spec.rack != 0
+                                      ? kCrossRackExtraPropagation
+                                      : SimDuration{0};
+
+        auto up = std::make_unique<Link>(
+            sim, strprintf("rack%u-backend%zu-uplink", spec.rack, i),
+            spec.linkGbps, microseconds(1) + extra);
+        auto down = std::make_unique<Link>(
+            sim, strprintf("rack%u-backend%zu-downlink", spec.rack, i),
+            spec.linkGbps, microseconds(1) + extra);
+
+        forward[i].addLink(up.get());
+        reverse[i].addLink(down.get());
+
+        ownedLinks.push_back(std::move(up));
+        ownedLinks.push_back(std::move(down));
+    }
+}
+
+const Path &
+ShardFabric::toBackend(std::size_t i) const
+{
+    TM_ASSERT(i < forward.size(), "backend index out of range");
+    return forward[i];
+}
+
+const Path &
+ShardFabric::fromBackend(std::size_t i) const
+{
+    TM_ASSERT(i < reverse.size(), "backend index out of range");
+    return reverse[i];
+}
+
+std::uint32_t
+ShardFabric::rackOf(std::size_t i) const
+{
+    TM_ASSERT(i < racks.size(), "backend index out of range");
+    return racks[i];
+}
+
+std::vector<Link *>
+ShardFabric::allLinks()
+{
+    std::vector<Link *> links;
+    links.reserve(ownedLinks.size());
+    for (auto &link : ownedLinks)
+        links.push_back(link.get());
+    return links;
+}
+
+std::vector<Link *>
+ShardFabric::rackLinks(std::uint32_t rack)
+{
+    std::vector<Link *> links;
+    for (std::size_t i = 0; i < racks.size(); ++i) {
+        if (racks[i] == rack) {
+            links.push_back(ownedLinks[2 * i].get());
+            links.push_back(ownedLinks[2 * i + 1].get());
+        }
+    }
+    return links;
+}
+
+std::vector<Link *>
+ShardFabric::backendLinks(std::size_t i)
+{
+    TM_ASSERT(i < racks.size(), "backend index out of range");
+    return {ownedLinks[2 * i].get(), ownedLinks[2 * i + 1].get()};
+}
+
 } // namespace net
 } // namespace treadmill

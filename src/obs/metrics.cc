@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace treadmill {
 namespace obs {
@@ -119,6 +120,18 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name)
 {
     return findOrCreate(histograms, name);
+}
+
+void
+MetricsRegistry::claimScope(const std::string &scope)
+{
+    if (scope.empty())
+        throw ConfigError("metric scope must not be empty");
+    if (!claimedScopes.insert(scope).second)
+        throw ConfigError(strprintf(
+            "metric scope \"%s\" already claimed: two components are "
+            "registering metrics under the same prefix",
+            scope.c_str()));
 }
 
 std::size_t

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -128,6 +129,20 @@ class MetricsRegistry
     Histogram &histogram(const std::string &name);
     /** @} */
 
+    /**
+     * Claim exclusive ownership of a metric-name scope (the dotted
+     * prefix a component registers all its metrics under, e.g.
+     * "backend2" or "lb"). Scoped components call this once at
+     * construction; a second claim of the same scope throws
+     * ConfigError instead of letting two components silently share --
+     * and corrupt -- each other's counters. Plain find-or-create
+     * lookups are unaffected: intentional sharing (countEvent) still
+     * works for names whose scope nobody claimed.
+     *
+     * @throws ConfigError when @p scope was already claimed.
+     */
+    void claimScope(const std::string &scope);
+
     /** Total number of registered metrics. */
     std::size_t size() const;
 
@@ -142,6 +157,7 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::set<std::string> claimedScopes;
 };
 
 } // namespace obs

@@ -113,6 +113,11 @@ spanEvent(const RequestTrace &t, const std::string &name, SimTime begin,
         json::Value(static_cast<std::int64_t>(t.connectionId));
     args["op"] = json::Value(t.isGet ? "get" : "set");
     args["hit"] = json::Value(t.hit);
+    // Only cluster runs know a backend; the classic path stays at -1
+    // and the export stays byte-identical to the pre-cluster format.
+    if (t.backendId >= 0)
+        args["backend"] =
+            json::Value(static_cast<std::int64_t>(t.backendId));
     ev["args"] = json::Value(std::move(args));
     return json::Value(std::move(ev));
 }

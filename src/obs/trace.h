@@ -32,6 +32,8 @@ struct RequestTrace {
     std::uint64_t clientIndex = 0;
     bool isGet = true;
     bool hit = false;
+    /** Backend shard that served the request; -1 = direct path. */
+    std::int32_t backendId = -1;
 
     /** @name Simulated-clock stamps (ns), in lifecycle order.
      * @{

@@ -5,12 +5,17 @@
 namespace treadmill {
 namespace server {
 
-ServiceFaultShim::ServiceFaultShim(sim::Simulation &sim_, Service &inner_)
+ServiceFaultShim::ServiceFaultShim(sim::Simulation &sim_, Service &inner_,
+                                   const std::string &scope)
     : sim(sim_), inner(inner_),
-      stalledCounter(sim_.metrics().counter("server.fault.stalled")),
-      droppedCounter(sim_.metrics().counter("server.fault.dropped")),
-      warmupCounter(sim_.metrics().counter("server.fault.warmed_up"))
+      stalledCounter(
+          sim_.metrics().counter(scope + ".fault.stalled")),
+      droppedCounter(
+          sim_.metrics().counter(scope + ".fault.dropped")),
+      warmupCounter(
+          sim_.metrics().counter(scope + ".fault.warmed_up"))
 {
+    sim_.metrics().claimScope(scope + ".fault");
 }
 
 bool

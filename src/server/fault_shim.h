@@ -21,6 +21,7 @@
 #define TREADMILL_SERVER_FAULT_SHIM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -41,8 +42,12 @@ class ServiceFaultShim : public Service
     /**
      * @param sim Owning simulation (schedules deferred deliveries).
      * @param inner The real service.
+     * @param scope Metric prefix of the wrapped service ("server", or
+     *        "backend<i>" for a cluster shard); the shim claims
+     *        "<scope>.fault" so two shims can never share counters.
      */
-    ServiceFaultShim(sim::Simulation &sim, Service &inner);
+    ServiceFaultShim(sim::Simulation &sim, Service &inner,
+                     const std::string &scope = "server");
 
     ServiceFaultShim(const ServiceFaultShim &) = delete;
     ServiceFaultShim &operator=(const ServiceFaultShim &) = delete;

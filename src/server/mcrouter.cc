@@ -9,14 +9,15 @@ namespace server {
 
 McrouterServer::McrouterServer(hw::Machine &machine_,
                                const McrouterParams &params_,
-                               std::uint64_t seed)
+                               std::uint64_t seed,
+                               const std::string &scope)
     : machine(machine_), params(params_),
       rng(Rng(0x6d63726f75746572ull).substream(seed)),
       jitter(-0.5 * params_.workJitterSigma * params_.workJitterSigma,
              params_.workJitterSigma),
       backendDelay(LogNormal::fromMoments(params_.backendMeanUs,
                                           params_.backendSigmaUs)),
-      metrics(machine_.simulation().metrics())
+      metrics(machine_.simulation().metrics(), scope)
 {
 }
 
@@ -77,6 +78,20 @@ McrouterServer::deserializeOnWorker(RequestPtr request, RespondFn respond,
                  respond = std::move(respond)](SimTime start,
                                                SimTime) mutable {
         request->workerStart = start;
+        if (backendPool != nullptr) {
+            // Real shard fabric: the pool owns the whole round trip
+            // (links, shard service, response links) and hands back
+            // the request with hit/responseBytes filled by the shard.
+            // No router core is occupied meanwhile, same as the
+            // modelled path below.
+            backendPool->receive(
+                std::move(request),
+                [this, respond = std::move(respond)](
+                    const RequestPtr &resp) mutable {
+                    serializeOnWorker(resp, std::move(respond));
+                });
+            return;
+        }
         // Asynchronous backend round trip: no core occupied.
         const double delayUs = backendDelay.sample(rng);
         machine.simulation().schedule(
@@ -104,9 +119,13 @@ McrouterServer::serializeOnWorker(RequestPtr request, RespondFn respond)
                  respond = std::move(respond)](SimTime,
                                                SimTime end) mutable {
         request->workerEnd = end;
-        request->hit = true;
-        request->responseBytes =
-            48 + request->valueBytes / 2; // relayed value
+        if (backendPool == nullptr) {
+            // Modelled backend: synthesize the outcome the real shard
+            // would have produced.
+            request->hit = true;
+            request->responseBytes =
+                48 + request->valueBytes / 2; // relayed value
+        }
         ++servedCount;
         request->nicDeparture = end;
         metrics.onServed(*request);

@@ -13,6 +13,7 @@
 #define TREADMILL_SERVER_MCROUTER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "hw/machine.h"
 #include "server/request.h"
@@ -44,9 +45,19 @@ class McrouterServer : public Service
 {
   public:
     McrouterServer(hw::Machine &machine, const McrouterParams &params,
-                   std::uint64_t seed);
+                   std::uint64_t seed,
+                   const std::string &scope = "server");
 
     void receive(RequestPtr request, RespondFn respond) override;
+
+    /**
+     * Route through @p pool (typically a lb::LoadBalancer fronting the
+     * shard fabric) instead of the modelled lognormal backend delay.
+     * The pool owns the entire backend round trip -- links, shard
+     * service, and response links -- and the router core stays free
+     * while it runs, exactly like the modelled path.
+     */
+    void setBackendPool(Service *pool) { backendPool = pool; }
 
     /** Requests fully routed so far. */
     std::uint64_t served() const { return servedCount; }
@@ -68,6 +79,7 @@ class McrouterServer : public Service
     LogNormal jitter;
     LogNormal backendDelay;
     ServerMetrics metrics;
+    Service *backendPool = nullptr; ///< Null: modelled backend delay.
     std::uint64_t servedCount = 0;
 };
 

@@ -10,12 +10,13 @@ namespace server {
 
 MemcachedServer::MemcachedServer(hw::Machine &machine_,
                                  const MemcachedParams &params_,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed,
+                                 const std::string &scope)
     : machine(machine_), params(params_), kv(params_.storeCapacityBytes),
       rng(Rng(0x6d656d63616368ull).substream(seed)),
       jitter(-0.5 * params_.workJitterSigma * params_.workJitterSigma,
              params_.workJitterSigma),
-      metrics(machine_.simulation().metrics())
+      metrics(machine_.simulation().metrics(), scope)
 {
 }
 

@@ -17,6 +17,7 @@
 #define TREADMILL_SERVER_MEMCACHED_H_
 
 #include <cstdint>
+#include <string>
 
 #include "hw/machine.h"
 #include "server/kvstore.h"
@@ -50,9 +51,13 @@ class MemcachedServer : public Service
      * @param machine Configured hardware to run on.
      * @param params Service-cost parameters.
      * @param seed Stream for per-request work jitter.
+     * @param scope Metric-name prefix ("server" for the classic single
+     *        server, "backend<i>" for a cluster shard); claimed
+     *        exclusively in the machine's registry.
      */
     MemcachedServer(hw::Machine &machine, const MemcachedParams &params,
-                    std::uint64_t seed);
+                    std::uint64_t seed,
+                    const std::string &scope = "server");
 
     void receive(RequestPtr request, RespondFn respond) override;
 

@@ -47,6 +47,11 @@ struct Request {
 
     OpType op = OpType::Get;
     std::string key;
+    /** Backend shard that served the request (-1 = direct path,
+     *  no balancer tier involved). Stamped by the load balancer at
+     *  dispatch so attribution can split "backend N got slow" from
+     *  "the balancer queued". */
+    std::int32_t backendId = -1;
     std::uint32_t valueBytes = 0;   ///< SET payload size.
     std::uint32_t requestBytes = 0; ///< Wire size of the request packet.
     std::uint32_t responseBytes = 0; ///< Wire size of the response.

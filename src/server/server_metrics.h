@@ -9,6 +9,8 @@
 #ifndef TREADMILL_SERVER_SERVER_METRICS_H_
 #define TREADMILL_SERVER_SERVER_METRICS_H_
 
+#include <string>
+
 #include "obs/metrics.h"
 #include "server/request.h"
 #include "util/types.h"
@@ -16,17 +18,27 @@
 namespace treadmill {
 namespace server {
 
-/** Registry handles for the common server metrics. */
+/**
+ * Registry handles for the common server metrics.
+ *
+ * @p scope is the dotted metric prefix ("server" for the classic
+ * single-server experiment, "backend2" for shard 2 of a cluster). The
+ * scope is claimed exclusively at construction: two services landing on
+ * the same prefix -- which would silently merge their queue-wait and
+ * hit-rate telemetry -- throw ConfigError instead.
+ */
 class ServerMetrics
 {
   public:
-    explicit ServerMetrics(obs::MetricsRegistry &registry)
-        : queueWaitUs(registry.histogram("server.queue_wait_us")),
-          serviceUs(registry.histogram("server.service_us")),
-          hits(registry.counter("server.hits")),
-          misses(registry.counter("server.misses")),
-          served(registry.counter("server.served"))
+    explicit ServerMetrics(obs::MetricsRegistry &registry,
+                           const std::string &scope = "server")
+        : queueWaitUs(registry.histogram(scope + ".queue_wait_us")),
+          serviceUs(registry.histogram(scope + ".service_us")),
+          hits(registry.counter(scope + ".hits")),
+          misses(registry.counter(scope + ".misses")),
+          served(registry.counter(scope + ".served"))
     {
+        registry.claimScope(scope);
     }
 
     /** Record one fully served request from its timeline stamps. */

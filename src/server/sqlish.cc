@@ -9,13 +9,14 @@ namespace server {
 
 SqlishServer::SqlishServer(hw::Machine &machine_,
                            const SqlishParams &params_,
-                           std::uint64_t seed)
+                           std::uint64_t seed,
+                           const std::string &scope)
     : machine(machine_), params(params_),
       rng(Rng(0x51a15eedull).substream(seed)),
       jitter(-0.5 * params_.workJitterSigma * params_.workJitterSigma,
              params_.workJitterSigma),
       ioMiss(params_.ioMissProbability),
-      metrics(machine_.simulation().metrics())
+      metrics(machine_.simulation().metrics(), scope)
 {
 }
 

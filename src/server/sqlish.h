@@ -16,6 +16,7 @@
 #define TREADMILL_SERVER_SQLISH_H_
 
 #include <cstdint>
+#include <string>
 
 #include "hw/machine.h"
 #include "server/request.h"
@@ -42,7 +43,8 @@ class SqlishServer : public Service
 {
   public:
     SqlishServer(hw::Machine &machine, const SqlishParams &params,
-                 std::uint64_t seed);
+                 std::uint64_t seed,
+                 const std::string &scope = "server");
 
     void receive(RequestPtr request, RespondFn respond) override;
 

@@ -361,6 +361,79 @@ TEST(FaultExperimentTest, FaultWindowsOverlayOnChromeTrace)
     EXPECT_NE(json.find("server_stall"), std::string::npos);
 }
 
+core::ExperimentParams
+smallClusterParams()
+{
+    auto params = smallParams();
+    params.kind = core::WorkloadKind::Mcrouter;
+    params.cluster.backends = 4;
+    return params;
+}
+
+TEST(FaultExperimentTest, BackendStallHitsOnlyTheTargetedShard)
+{
+    auto params = smallClusterParams();
+    FaultEvent ev;
+    ev.kind = FaultKind::ServerStall;
+    ev.backend = 1;
+    ev.start = milliseconds(5);
+    ev.duration = milliseconds(2);
+    ev.period = milliseconds(15);
+    ev.repeatCount = 30;
+    params.faultPlan.events.push_back(ev);
+    const auto result = core::runExperiment(params);
+
+    // Only shard 1's shim stalls; its siblings and the front router
+    // stay clean -- the per-backend metric scopes keep them apart.
+    EXPECT_GT(counterValue(result, "backend1.fault.stalled"), 0);
+    EXPECT_EQ(counterValue(result, "backend0.fault.stalled"), 0);
+    EXPECT_EQ(counterValue(result, "backend2.fault.stalled"), 0);
+    EXPECT_EQ(counterValue(result, "server.fault.stalled"), 0);
+    ASSERT_FALSE(result.faultWindows.empty());
+    EXPECT_NE(result.faultWindows[0].name.find("[backend1]"),
+              std::string::npos);
+}
+
+TEST(FaultExperimentTest, BackendTargetOutOfRangeIsRejected)
+{
+    auto params = smallClusterParams();
+    FaultEvent ev;
+    ev.kind = FaultKind::ServerStall;
+    ev.backend = 7; // only 4 shards exist
+    ev.start = milliseconds(5);
+    ev.duration = milliseconds(1);
+    params.faultPlan.events.push_back(ev);
+    EXPECT_THROW(core::runExperiment(params), ConfigError);
+}
+
+TEST(FaultExperimentTest, TorOutageDegradesAWholeRack)
+{
+    auto params = smallClusterParams();
+    params.cluster.racks = 2; // backends 2,3 live in rack 1
+    FaultEvent ev;
+    ev.kind = FaultKind::TorOutage;
+    ev.rack = 1;
+    ev.start = milliseconds(2);
+    ev.duration = seconds(10); // the whole run
+    ev.bandwidthFactor = 0.05;
+    ev.extraLatency = microseconds(400);
+    params.faultPlan.events.push_back(ev);
+    const auto result = core::runExperiment(params);
+
+    ASSERT_FALSE(result.faultWindows.empty());
+    EXPECT_NE(result.faultWindows[0].name.find("tor_outage"),
+              std::string::npos);
+    EXPECT_NE(result.faultWindows[0].name.find("[rack1]"),
+              std::string::npos);
+
+    // Requests sharded onto the degraded rack pay the switch detour;
+    // the healthy rack's latency stays put. Compare per-backend wire
+    // round trips via the trace stamps aggregated in backendServed --
+    // the cheap proxy: the run still completes and serves all shards.
+    for (std::uint32_t b = 0; b < 4; ++b)
+        EXPECT_GT(result.backendServed[b], 0u) << "backend " << b;
+}
+
 } // namespace
 } // namespace fault
 } // namespace treadmill

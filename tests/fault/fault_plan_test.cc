@@ -117,7 +117,7 @@ TEST(FaultPlanTest, KindNamesRoundTrip)
     for (FaultKind kind :
          {FaultKind::LinkLoss, FaultKind::LinkDegrade,
           FaultKind::ServerStall, FaultKind::ServerCrash,
-          FaultKind::NicInterruptStorm})
+          FaultKind::NicInterruptStorm, FaultKind::TorOutage})
         EXPECT_EQ(faultKindFromName(faultKindName(kind)), kind);
     EXPECT_THROW(faultKindFromName("cosmic_ray"), ConfigError);
 }
@@ -130,6 +130,97 @@ stallEvent(SimTime start, SimDuration duration)
     ev.start = start;
     ev.duration = duration;
     return ev;
+}
+
+TEST(FaultPlanTest, BackendTargetedFaultsParseAndRoundTrip)
+{
+    const auto plan = FaultPlan::fromJson(json::parse(R"({
+        "events": [
+            {"kind": "server_stall", "backend": 2, "start_ms": 10,
+             "duration_ms": 3},
+            {"kind": "server_crash", "start_ms": 50,
+             "duration_ms": 10},
+            {"kind": "tor_outage", "rack": 1, "start_ms": 100,
+             "duration_ms": 40, "bandwidth_factor": 0.2,
+             "extra_latency_us": 200, "loss_probability": 0.05}
+        ]})"));
+    ASSERT_EQ(plan.events.size(), 3u);
+    EXPECT_EQ(plan.events[0].backend, 2);
+    EXPECT_EQ(plan.events[1].backend, -1); // default: the front server
+    const FaultEvent &tor = plan.events[2];
+    EXPECT_EQ(tor.kind, FaultKind::TorOutage);
+    EXPECT_EQ(tor.rack, 1u);
+    EXPECT_DOUBLE_EQ(tor.bandwidthFactor, 0.2);
+    EXPECT_EQ(tor.extraLatency, microseconds(200));
+    EXPECT_DOUBLE_EQ(tor.lossProbability, 0.05);
+    EXPECT_NO_THROW(plan.validate());
+
+    const auto back = FaultPlan::fromJson(plan.toJson());
+    ASSERT_EQ(back.events.size(), 3u);
+    EXPECT_EQ(back.events[0].backend, 2);
+    EXPECT_EQ(back.events[1].backend, -1);
+    EXPECT_EQ(back.events[2].rack, 1u);
+    EXPECT_DOUBLE_EQ(back.events[2].bandwidthFactor, 0.2);
+    EXPECT_EQ(back.events[2].extraLatency, microseconds(200));
+    EXPECT_DOUBLE_EQ(back.events[2].lossProbability, 0.05);
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadBackendTargets)
+{
+    FaultPlan plan;
+    plan.events.push_back(stallEvent(0, milliseconds(1)));
+    plan.events[0].backend = -2;
+    EXPECT_THROW(plan.validate(), ConfigError);
+
+    // Link faults have string targets, not backend ids.
+    plan.events[0].kind = FaultKind::LinkLoss;
+    plan.events[0].backend = 1;
+    plan.events[0].lossProbability = 0.5;
+    EXPECT_THROW(plan.validate(), ConfigError);
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedTorOutage)
+{
+    FaultPlan plan;
+    plan.events.push_back(stallEvent(0, milliseconds(1)));
+    plan.events[0].kind = FaultKind::TorOutage;
+    plan.events[0].bandwidthFactor = 0.0; // must be positive
+    EXPECT_THROW(plan.validate(), ConfigError);
+
+    plan.events[0].bandwidthFactor = 0.5;
+    plan.events[0].lossProbability = 1.5;
+    EXPECT_THROW(plan.validate(), ConfigError);
+
+    plan.events[0].lossProbability = 0.1;
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanTest, SameKindOnDistinctBackendsMayOverlap)
+{
+    // The overlap rule is per (kind, target, backend): the same stall
+    // window on two different shards is fine; on one shard it is not.
+    FaultPlan plan;
+    plan.events.push_back(stallEvent(milliseconds(10), milliseconds(5)));
+    plan.events.push_back(stallEvent(milliseconds(12), milliseconds(5)));
+    plan.events[0].backend = 0;
+    plan.events[1].backend = 1;
+    EXPECT_NO_THROW(plan.validate());
+
+    plan.events[1].backend = 0;
+    EXPECT_THROW(plan.validate(), ConfigError);
+
+    // Two tor outages: distinct racks overlap, one rack does not.
+    FaultPlan tor;
+    for (int i = 0; i < 2; ++i) {
+        tor.events.push_back(
+            stallEvent(milliseconds(10), milliseconds(5)));
+        tor.events[i].kind = FaultKind::TorOutage;
+        tor.events[i].bandwidthFactor = 0.5;
+        tor.events[i].rack = static_cast<std::uint32_t>(i);
+    }
+    EXPECT_NO_THROW(tor.validate());
+    tor.events[1].rack = 0;
+    EXPECT_THROW(tor.validate(), ConfigError);
 }
 
 TEST(FaultPlanTest, ValidateRejectsBadRanges)

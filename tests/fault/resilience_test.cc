@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -235,6 +236,116 @@ TEST(ResilienceTest, DisabledPolicyKeepsCountersAtZero)
     EXPECT_EQ(inst.failed(), 0u);
 }
 
+TEST(ResilienceTest, CompletedRequestCancelsPendingBackoffRetry)
+{
+    sim::Simulation sim;
+    // Primaries vanish; hedges answer. With a long backoff, the hedge
+    // response lands while the retry is still waiting out its delay --
+    // the regression is a zombie retry transmitted after completion.
+    SelectiveEcho echo(sim,
+                       [](const server::RequestPtr &req,
+                          SimDuration &delay) {
+                           delay = microseconds(300);
+                           return req->hedged;
+                       });
+    auto params = slowSteadyParams();
+    params.resilience.enabled = true;
+    params.resilience.timeoutUs = 500.0;
+    params.resilience.maxRetries = 3;
+    params.resilience.backoffBaseUs = 5000.0;
+    params.resilience.jitterFraction = 0.0;
+    params.resilience.hedge = true;
+    params.resilience.hedgeDelayUs = 300.0;
+
+    LoadTesterInstance *slot = nullptr;
+    LoadTesterInstance inst(sim, params, WorkloadConfig{},
+                            echo.transmitTo(slot));
+    slot = &inst;
+    inst.start();
+    sim.runUntil(milliseconds(200));
+    inst.stopLoad();
+    sim.runUntil(milliseconds(300));
+
+    EXPECT_GT(inst.hedgeWins(), 0u);
+    EXPECT_EQ(inst.failed(), 0u);
+    EXPECT_EQ(inst.received(), inst.issued());
+    // Every logical request completes via its hedge before the retry
+    // backoff elapses, so no retry may ever reach the wire...
+    EXPECT_EQ(inst.retries(), 0u);
+    // ...and each logical id puts exactly two attempts on the wire:
+    // the primary and the hedge. A third is the zombie.
+    std::unordered_map<std::uint64_t, unsigned> attempts;
+    for (const auto &req : echo.sent)
+        ++attempts[req->logicalSeqId];
+    for (const auto &entry : attempts)
+        EXPECT_EQ(entry.second, 2u) << "logical " << entry.first;
+}
+
+TEST(ResilienceTest, HedgeInFlightOutlivesExhaustedRetries)
+{
+    sim::Simulation sim;
+    // No retries at all; the hedge is the only second chance, and it
+    // answers after the primary's timeout has already fired.
+    SelectiveEcho echo(sim,
+                       [](const server::RequestPtr &req,
+                          SimDuration &delay) {
+                           delay = microseconds(400);
+                           return req->hedged;
+                       });
+    auto params = slowSteadyParams();
+    params.resilience.enabled = true;
+    params.resilience.timeoutUs = 500.0;
+    params.resilience.maxRetries = 0;
+    params.resilience.hedge = true;
+    params.resilience.hedgeDelayUs = 300.0;
+
+    LoadTesterInstance *slot = nullptr;
+    LoadTesterInstance inst(sim, params, WorkloadConfig{},
+                            echo.transmitTo(slot));
+    slot = &inst;
+    inst.start();
+    sim.runUntil(milliseconds(200));
+    inst.stopLoad();
+    sim.runUntil(milliseconds(300));
+
+    // The hedge answer (in flight when retries ran out) completes the
+    // request; declaring failure there loses a delivered response.
+    EXPECT_EQ(inst.failed(), 0u);
+    EXPECT_EQ(inst.received(), inst.issued());
+    EXPECT_GT(inst.hedgeWins(), 0u);
+}
+
+TEST(ResilienceTest, HedgeGraceWindowStillFailsBlackHoles)
+{
+    sim::Simulation sim;
+    // Nothing answers, hedges included: the grace window for an
+    // in-flight hedge must expire into a failure, not wait forever.
+    SelectiveEcho echo(sim, [](const server::RequestPtr &,
+                               SimDuration &) { return false; });
+    auto params = slowSteadyParams();
+    params.resilience.enabled = true;
+    params.resilience.timeoutUs = 500.0;
+    params.resilience.maxRetries = 0;
+    params.resilience.hedge = true;
+    params.resilience.hedgeDelayUs = 300.0;
+
+    LoadTesterInstance *slot = nullptr;
+    LoadTesterInstance inst(sim, params, WorkloadConfig{},
+                            echo.transmitTo(slot));
+    slot = &inst;
+    inst.start();
+    sim.runUntil(milliseconds(20));
+    inst.stopLoad();
+    sim.runUntil(milliseconds(60));
+
+    EXPECT_GT(inst.failed(), 0u);
+    EXPECT_EQ(inst.failed(), inst.issued());
+    EXPECT_EQ(inst.received(), 0u);
+    EXPECT_EQ(inst.outstanding(), 0u);
+    // One ordinary timeout plus one grace-window expiry per request.
+    EXPECT_EQ(inst.timeouts(), 2 * inst.failed());
+}
+
 TEST(ResilienceTest, RejectsInconsistentPolicies)
 {
     sim::Simulation sim;
@@ -260,6 +371,26 @@ TEST(ResilienceTest, RejectsInconsistentPolicies)
     params.resilience.enabled = true;
     params.resilience.hedge = true;
     params.resilience.hedgeQuantile = 1.0;
+    EXPECT_THROW(LoadTesterInstance(sim, params, WorkloadConfig{},
+                                    noopTransmit),
+                 ConfigError);
+
+    // Adaptive hedge delay with no warm-up floor: the quantile of an
+    // empty collector would fire the hedge at send time and double
+    // the offered load.
+    params = slowSteadyParams();
+    params.resilience.enabled = true;
+    params.resilience.hedge = true;
+    params.resilience.hedgeDelayUs = 0.0;
+    params.resilience.hedgeMinSamples = 0;
+    EXPECT_THROW(LoadTesterInstance(sim, params, WorkloadConfig{},
+                                    noopTransmit),
+                 ConfigError);
+
+    params = slowSteadyParams();
+    params.resilience.enabled = true;
+    params.resilience.hedge = true;
+    params.resilience.hedgeDelayUs = -5.0;
     EXPECT_THROW(LoadTesterInstance(sim, params, WorkloadConfig{},
                                     noopTransmit),
                  ConfigError);

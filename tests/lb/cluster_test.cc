@@ -1,0 +1,124 @@
+/** @file End-to-end multi-backend cluster runs through the experiment
+ *  harness: determinism, per-backend accounting, failover under a
+ *  crashed shard, and the classic-path invariant (zero backends means
+ *  the cluster tier does not exist). */
+
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fault/plan.h"
+#include "util/error.h"
+
+namespace treadmill {
+namespace core {
+namespace {
+
+ExperimentParams
+clusterParams(std::uint32_t backends)
+{
+    ExperimentParams p;
+    p.kind = WorkloadKind::Mcrouter;
+    p.targetUtilization = 0.4;
+    p.config.dvfs = hw::DvfsGovernor::Performance;
+    p.collector.warmUpSamples = 100;
+    p.collector.calibrationSamples = 100;
+    p.collector.measurementSamples = 800;
+    p.seed = 17;
+    p.cluster.backends = backends;
+    return p;
+}
+
+TEST(ClusterTest, RunsAndAccountsEveryBackend)
+{
+    const auto result = runExperiment(clusterParams(4));
+    ASSERT_EQ(result.backendServed.size(), 4u);
+    ASSERT_EQ(result.backendDispatched.size(), 4u);
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        EXPECT_GT(result.backendServed[b], 0u) << "backend " << b;
+        EXPECT_GT(result.backendDispatched[b], 0u) << "backend " << b;
+    }
+    // Every dispatched request reached its shard (no faults armed).
+    EXPECT_EQ(result.lbUnroutable, 0u);
+    EXPECT_EQ(result.lbFailovers, 0u);
+    EXPECT_EQ(result.instancesAtTarget(), 8u);
+}
+
+TEST(ClusterTest, DeterministicForSameSeed)
+{
+    const auto a = runExperiment(clusterParams(4));
+    const auto b = runExperiment(clusterParams(4));
+    EXPECT_EQ(a.backendServed, b.backendServed);
+    EXPECT_EQ(a.backendDispatched, b.backendDispatched);
+    EXPECT_EQ(a.groundTruthUs, b.groundTruthUs);
+    EXPECT_EQ(a.aggregatedQuantile(0.99, AggregationKind::PerInstance),
+              b.aggregatedQuantile(0.99, AggregationKind::PerInstance));
+}
+
+TEST(ClusterTest, ClassicPathHasNoClusterTier)
+{
+    auto p = clusterParams(0);
+    const auto result = runExperiment(p);
+    EXPECT_TRUE(result.backendServed.empty());
+    EXPECT_TRUE(result.backendDispatched.empty());
+    EXPECT_EQ(result.lbQueued, 0u);
+}
+
+TEST(ClusterTest, PolicyChangesRoutingUnderReplication)
+{
+    auto fcfs = clusterParams(4);
+    fcfs.cluster.replication = 2;
+    auto p2c = fcfs;
+    p2c.cluster.policy = lb::PolicyKind::PowerOfTwo;
+
+    const auto a = runExperiment(fcfs);
+    const auto b = runExperiment(p2c);
+    // Both serve the full load...
+    const auto total = [](const std::vector<std::uint64_t> &v) {
+        return std::accumulate(v.begin(), v.end(),
+                               std::uint64_t{0});
+    };
+    EXPECT_GT(total(a.backendDispatched), 0u);
+    EXPECT_NEAR(static_cast<double>(total(b.backendDispatched)),
+                static_cast<double>(total(a.backendDispatched)),
+                0.05 * static_cast<double>(total(a.backendDispatched)));
+    // ...but p2c spreads replicated keys where FCFS pins them to the
+    // primary, so the per-backend split differs.
+    EXPECT_NE(a.backendDispatched, b.backendDispatched);
+}
+
+TEST(ClusterTest, CrashedBackendFailsOverWithReplication)
+{
+    auto p = clusterParams(4);
+    p.cluster.replication = 2;
+    fault::FaultEvent crash;
+    crash.kind = fault::FaultKind::ServerCrash;
+    crash.backend = 1;
+    crash.start = 0;
+    crash.duration = seconds(100); // dark for the whole run
+    p.faultPlan.events.push_back(crash);
+    const auto result = runExperiment(p);
+    // Backend 1 is dark for the whole run; its keys fail over to the
+    // next replica instead of vanishing.
+    EXPECT_EQ(result.backendServed[1], 0u);
+    EXPECT_GT(result.lbFailovers, 0u);
+    EXPECT_EQ(result.lbUnroutable, 0u);
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        if (b != 1) {
+            EXPECT_GT(result.backendServed[b], 0u);
+        }
+    }
+}
+
+TEST(ClusterTest, RejectsClusterOnNonRouterWorkloads)
+{
+    auto p = clusterParams(2);
+    p.kind = WorkloadKind::Memcached;
+    EXPECT_THROW(runExperiment(p), ConfigError);
+}
+
+} // namespace
+} // namespace core
+} // namespace treadmill

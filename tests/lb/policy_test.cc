@@ -1,0 +1,115 @@
+/** @file Scheduling-policy unit tests: FCFS, power-of-two-choices, and
+ *  EDF selection/ordering behaviour, plus the name registry. */
+
+#include "lb/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace lb {
+namespace {
+
+BackendSnapshot
+snapshotOf(const std::vector<std::uint64_t> &inflight)
+{
+    return BackendSnapshot{inflight.data(), inflight.size()};
+}
+
+TEST(PolicyTest, NamesRoundTrip)
+{
+    EXPECT_EQ(policyKindName(PolicyKind::Fcfs), "fcfs");
+    EXPECT_EQ(policyKindName(PolicyKind::PowerOfTwo), "p2c");
+    EXPECT_EQ(policyKindName(PolicyKind::Edf), "edf");
+    EXPECT_EQ(policyKindFromName("fcfs"), PolicyKind::Fcfs);
+    EXPECT_EQ(policyKindFromName("p2c"), PolicyKind::PowerOfTwo);
+    EXPECT_EQ(policyKindFromName("edf"), PolicyKind::Edf);
+    EXPECT_THROW(policyKindFromName("round-robin"), ConfigError);
+}
+
+TEST(PolicyTest, FcfsAlwaysPicksThePrimary)
+{
+    FcfsPolicy policy;
+    server::Request req;
+    const std::vector<std::uint64_t> inflight{9, 0, 0};
+    const std::vector<std::uint32_t> candidates{0, 2, 1};
+    // Primary even when it is the busiest backend.
+    EXPECT_EQ(policy.select(candidates, snapshotOf(inflight), req), 0u);
+    EXPECT_DOUBLE_EQ(policy.queuePriority(req), 0.0);
+}
+
+TEST(PolicyTest, PowerOfTwoPrefersTheLessLoadedSample)
+{
+    PowerOfTwoPolicy policy(42);
+    server::Request req;
+    // Two candidates: both are always sampled, so the pick must be
+    // the one with fewer requests in flight.
+    const std::vector<std::uint32_t> candidates{0, 1};
+    const std::vector<std::uint64_t> loaded0{10, 2};
+    const std::vector<std::uint64_t> loaded1{1, 7};
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(policy.select(candidates, snapshotOf(loaded0), req),
+                  1u);
+        EXPECT_EQ(policy.select(candidates, snapshotOf(loaded1), req),
+                  0u);
+    }
+}
+
+TEST(PolicyTest, PowerOfTwoSingleCandidateIsTrivial)
+{
+    PowerOfTwoPolicy policy(7);
+    server::Request req;
+    const std::vector<std::uint32_t> candidates{3};
+    const std::vector<std::uint64_t> inflight{0, 0, 0, 5};
+    EXPECT_EQ(policy.select(candidates, snapshotOf(inflight), req), 0u);
+}
+
+TEST(PolicyTest, PowerOfTwoIsDeterministicPerSeed)
+{
+    server::Request req;
+    const std::vector<std::uint32_t> candidates{0, 1, 2, 3};
+    const std::vector<std::uint64_t> inflight{1, 1, 1, 1};
+    PowerOfTwoPolicy a(123);
+    PowerOfTwoPolicy b(123);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.select(candidates, snapshotOf(inflight), req),
+                  b.select(candidates, snapshotOf(inflight), req));
+    }
+}
+
+TEST(PolicyTest, EdfOrdersByIntendedSendPlusSlack)
+{
+    EdfPolicy policy(1000.0);
+    server::Request early;
+    early.intendedSend = 1000000; // 1 ms into the run
+    server::Request late;
+    late.intendedSend = 5000000;
+    // The earlier intended send has the earlier deadline: it must
+    // dispatch first (lower priority value).
+    EXPECT_LT(policy.queuePriority(early), policy.queuePriority(late));
+    // Deadline = intended send + slack, both in nanoseconds.
+    EXPECT_DOUBLE_EQ(policy.queuePriority(early),
+                     1000000.0 + 1000.0 * 1000.0);
+}
+
+TEST(PolicyTest, EdfRejectsNonPositiveSlack)
+{
+    EXPECT_THROW(EdfPolicy(0.0), ConfigError);
+    EXPECT_THROW(EdfPolicy(-1.0), ConfigError);
+}
+
+TEST(PolicyTest, FactoryBuildsTheRequestedKind)
+{
+    EXPECT_STREQ(makePolicy(PolicyKind::Fcfs, 1, 100.0)->name(),
+                 "fcfs");
+    EXPECT_STREQ(makePolicy(PolicyKind::PowerOfTwo, 1, 100.0)->name(),
+                 "p2c");
+    EXPECT_STREQ(makePolicy(PolicyKind::Edf, 1, 100.0)->name(), "edf");
+}
+
+} // namespace
+} // namespace lb
+} // namespace treadmill

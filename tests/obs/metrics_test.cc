@@ -130,6 +130,19 @@ TEST(MetricsTest, SnapshotIsDeterministic)
     EXPECT_EQ(build(), build());
 }
 
+TEST(MetricsTest, ScopeClaimsAreUnique)
+{
+    MetricsRegistry registry;
+    registry.claimScope("server");
+    registry.claimScope("backend0");
+    // A second owner of "server.*" would silently merge two
+    // components' metrics under one set of names.
+    EXPECT_THROW(registry.claimScope("server"), ConfigError);
+    EXPECT_THROW(registry.claimScope(""), ConfigError);
+    // Claiming never blocks find-or-create on individual names.
+    registry.counter("server.queue_wait_us").add();
+}
+
 } // namespace
 } // namespace obs
 } // namespace treadmill

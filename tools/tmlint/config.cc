@@ -49,11 +49,12 @@ const char *const kDefaultJson = R"CFG({
         "hw": ["util", "sim"],
         "net": ["util", "sim", "obs"],
         "server": ["util", "sim", "obs", "hw"],
+        "lb": ["util", "sim", "obs", "server"],
         "fault": ["util", "sim", "obs", "hw", "net", "server"],
         "core": ["util", "exec", "sim", "obs", "stats",
-                 "hw", "net", "server", "fault"],
+                 "hw", "net", "server", "fault", "lb"],
         "analysis": ["util", "exec", "sim", "obs", "stats",
-                     "hw", "net", "server", "core", "regress"]
+                     "hw", "net", "server", "core", "regress", "lb"]
       }
     }
   }
