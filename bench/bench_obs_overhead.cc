@@ -14,6 +14,8 @@
 
 #include "core/experiment.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 using namespace treadmill;
@@ -49,7 +51,8 @@ BM_ExperimentTraceOff(benchmark::State &state)
 }
 BENCHMARK(BM_ExperimentTraceOff)->Unit(benchmark::kMillisecond);
 
-/** Worst case: record every completed request's full timeline. */
+/** Worst case: record every completed request's full timeline (the
+ *  one trace knob also builds the per-attempt span tree). */
 void
 BM_ExperimentTraceEveryRequest(benchmark::State &state)
 {
@@ -59,11 +62,33 @@ BM_ExperimentTraceEveryRequest(benchmark::State &state)
         params.trace.sampleEvery = 1;
         const auto result = core::runExperiment(params);
         benchmark::DoNotOptimize(result.traces.size());
+        benchmark::DoNotOptimize(result.spans.size());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(
         state.iterations() * 2000 * 8));
 }
 BENCHMARK(BM_ExperimentTraceEveryRequest)
+    ->Unit(benchmark::kMillisecond);
+
+/** Full observability: every span retained *and* the telemetry
+ *  sampler ticking every simulated millisecond. */
+void
+BM_ExperimentSpansAndTelemetry(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto params = overheadParams();
+        params.trace.enabled = true;
+        params.trace.sampleEvery = 1;
+        params.telemetry.enabled = true;
+        params.telemetry.periodUs = 1000.0;
+        const auto result = core::runExperiment(params);
+        benchmark::DoNotOptimize(result.spans.size());
+        benchmark::DoNotOptimize(result.telemetry.ticks());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 2000 * 8));
+}
+BENCHMARK(BM_ExperimentSpansAndTelemetry)
     ->Unit(benchmark::kMillisecond);
 
 /** A held counter reference bump: the hot-path pattern everywhere. */
@@ -128,6 +153,55 @@ BM_TraceRecord(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TraceRecord);
+
+/** SpanRecorder::record of a two-attempt span: the per-completion
+ *  cost when span tracing is on (one struct copy into a reserved
+ *  vector, no allocation at steady state). */
+void
+BM_SpanRecord(benchmark::State &state)
+{
+    obs::TraceConfig cfg;
+    cfg.enabled = true;
+    obs::SpanRecorder recorder(cfg);
+    recorder.reserveFor(1u << 16);
+    obs::SpanTrace span;
+    span.intendedSend = 1;
+    span.clientReceive = 100;
+    span.attemptCount = 2;
+    span.stored = 2;
+    span.winner = 1;
+    span.attempts[1].won = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(recorder.record(span));
+        if (recorder.spans().size() >= (1u << 16))
+            recorder.takeSpans();
+    }
+}
+BENCHMARK(BM_SpanRecord);
+
+/** One telemetry tick over a typical probe set (eight gauges). */
+void
+BM_TelemetrySample(benchmark::State &state)
+{
+    obs::TelemetryConfig cfg;
+    cfg.enabled = true;
+    cfg.maxSamples = 1u << 20;
+    obs::TelemetrySampler sampler(cfg);
+    double gauge = 0.0;
+    for (int p = 0; p < 8; ++p)
+        sampler.addProbe("bench.gauge",
+                         [&gauge] { return gauge; });
+    SimTime now = 0;
+    for (auto _ : state) {
+        gauge += 1.0;
+        now += 1'000'000;
+        sampler.sample(now);
+        if (sampler.full())
+            sampler.takeSeries();
+    }
+    benchmark::DoNotOptimize(sampler.series().ticks());
+}
+BENCHMARK(BM_TelemetrySample);
 
 } // namespace
 

@@ -21,8 +21,17 @@
  * exactly zero), and the policy term stays small -- "backend 2 got
  * slow", not "the balancer queued".
  *
+ * A second, single-run "provenance cell" then re-creates the worst
+ * case (shard-2 stall, FCFS) with hedging, span tracing, and telemetry
+ * enabled, and reads the tail-provenance report: the P99 band must be
+ * owned by shard 2's wait segments while the median stays
+ * service-dominated -- the per-quantile answer to *which* segment of
+ * *whose* critical path put the request into the tail.
+ *
  * Run: ./build/examples/cluster_study [output-dir]
- * Writes treadmill_cluster_study.json into output-dir (default ".").
+ * Writes treadmill_cluster_study.json plus the provenance cell's
+ * exports (spans, provenance report, telemetry CSV, Chrome traces)
+ * into output-dir (default ".").
  */
 
 #include <cmath>
@@ -34,9 +43,12 @@
 
 #include "analysis/attribution.h"
 #include "analysis/export.h"
+#include "analysis/provenance.h"
 #include "analysis/report.h"
 #include "core/experiment.h"
 #include "fault/plan.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "regress/design.h"
 #include "util/json.h"
 
@@ -236,5 +248,123 @@ main(int argc, char **argv)
                    json::Value(std::move(doc)).dumpPretty() + "\n"))
         return 1;
     std::printf("\nWrote %s\n", path.c_str());
+
+    // ---- Tail-provenance cell: which segment owns the P99? ----
+    // Re-create the worst cell (shard-2 stall, FCFS) as one dedicated
+    // run with hedging, span tracing, and telemetry enabled. Hedges
+    // fire only when an attempt is stuck behind the stall, so the P99
+    // band is populated by requests whose critical path waited on
+    // shard 2 -- as a backend queue or as the hedge wait attributed to
+    // the unanswered primary.
+    core::ExperimentParams prov = base;
+    prov.faultPlan = makePlan(true);
+    prov.cluster.policy = lb::PolicyKind::Fcfs;
+    prov.resilience.enabled = true;
+    prov.resilience.hedge = true;
+    prov.resilience.hedgeDelayUs = 1000.0;
+    prov.trace.enabled = true;
+    prov.telemetry.enabled = true;
+    prov.telemetry.periodUs = 500.0;
+    prov.seed = 4242;
+    std::printf("\nRunning the tail-provenance cell (shard-2 stall + "
+                "hedging, spans + telemetry on)...\n");
+    const auto provRun = core::runExperiment(prov);
+    std::printf("  %zu spans retained, %zu telemetry samples\n",
+                provRun.spans.size(),
+                provRun.telemetry.ticks());
+
+    const auto provenance =
+        analysis::tailProvenance(provRun.spans, {0.5, 0.99});
+    std::printf("\n%s\n",
+                analysis::renderProvenanceTable(provenance).c_str());
+
+    const auto isWait = [](obs::SegmentKind k) {
+        return k == obs::SegmentKind::BackendQueue ||
+               k == obs::SegmentKind::HedgeWait ||
+               k == obs::SegmentKind::TimeoutWait ||
+               k == obs::SegmentKind::FailoverWait ||
+               k == obs::SegmentKind::RetryBackoff ||
+               k == obs::SegmentKind::LbQueue;
+    };
+    const auto backend2Share =
+        [](const analysis::QuantileProvenance &q) {
+            for (const auto &b : q.backends)
+                if (b.backendId == 2)
+                    return b.share;
+            return 0.0;
+        };
+    const auto &provP99 = provenance.at(0.99);
+    const auto &provP50 = provenance.at(0.5);
+    const auto &names = obs::segmentKindNames();
+    if (!isWait(provP99.dominant().kind)) {
+        std::fprintf(stderr,
+                     "P99 band is not wait-dominated (top segment: "
+                     "%s)\n",
+                     names[static_cast<std::size_t>(
+                               provP99.dominant().kind)]
+                         .c_str());
+        return 1;
+    }
+    if (provP99.backends.empty() || provP99.backends.front().backendId != 2) {
+        std::fprintf(stderr,
+                     "P99 band is not attributed to the stalled "
+                     "shard 2\n");
+        return 1;
+    }
+    if (isWait(provP50.dominant().kind)) {
+        std::fprintf(stderr,
+                     "median is wait-dominated (%s) -- the stall "
+                     "leaked into the body\n",
+                     names[static_cast<std::size_t>(
+                               provP50.dominant().kind)]
+                         .c_str());
+        return 1;
+    }
+    if (backend2Share(provP50) >= backend2Share(provP99)) {
+        std::fprintf(stderr,
+                     "shard 2's share did not grow toward the tail "
+                     "(P50 %.2f vs P99 %.2f)\n",
+                     backend2Share(provP50), backend2Share(provP99));
+        return 1;
+    }
+    std::printf("P99 provenance: %s on shard %d (%.0f%% of the band); "
+                "P50 stays service-dominated (%s, shard-2 share "
+                "%.0f%%)\n",
+                names[static_cast<std::size_t>(provP99.dominant().kind)]
+                    .c_str(),
+                provP99.backends.front().backendId,
+                provP99.dominant().share * 100.0,
+                names[static_cast<std::size_t>(provP50.dominant().kind)]
+                    .c_str(),
+                backend2Share(provP50) * 100.0);
+
+    std::printf("\n%s\n",
+                analysis::renderDecompositionTable(
+                    analysis::decomposeSpans(provRun.spans))
+                    .c_str());
+
+    if (!writeFile(dir + "/treadmill_cluster_spans.json",
+                   obs::spanJson(provRun.spans)))
+        return 1;
+    if (!writeFile(
+            dir + "/treadmill_cluster_provenance.json",
+            analysis::provenanceToJson(provenance).dumpPretty() +
+                "\n"))
+        return 1;
+    if (!writeFile(dir + "/treadmill_cluster_telemetry.csv",
+                   obs::telemetryCsv(provRun.telemetry)))
+        return 1;
+    if (!writeFile(dir + "/treadmill_cluster_trace.json",
+                   obs::chromeTraceJson(provRun.traces,
+                                        provRun.faultWindows,
+                                        &provRun.telemetry)))
+        return 1;
+    if (!writeFile(dir + "/treadmill_cluster_span_lanes.json",
+                   obs::chromeSpanJson(provRun.spans,
+                                       provRun.faultWindows)))
+        return 1;
+    std::printf("Wrote %s/treadmill_cluster_{spans,provenance,"
+                "trace,span_lanes}.json and telemetry.csv\n",
+                dir.c_str());
     return 0;
 }

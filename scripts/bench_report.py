@@ -41,6 +41,15 @@ ALLOC_BENCHMARKS = [
     ("BM_FullExperimentAllocsPerRequest", "allocs_per_request"),
 ]
 
+# Observability overhead: the tracing-off run is the reference; the
+# tracing/span/telemetry-on runs are reported as deltas against it.
+OBS_REFERENCE = "BM_ExperimentTraceOff"
+OBS_BENCHMARKS = [
+    "BM_ExperimentTraceOff",
+    "BM_ExperimentTraceEveryRequest",
+    "BM_ExperimentSpansAndTelemetry",
+]
+
 
 def run_benchmark_json(binary, bench_filter, min_time, repetitions=1):
     """Run a google-benchmark binary, return parsed entries by name."""
@@ -78,7 +87,8 @@ def best_cpu_time(entries, name, repetitions):
     return entry["cpu_time"], entry["time_unit"]
 
 
-def write_summary_md(path, benches, allocs, committed_current):
+def write_summary_md(path, benches, allocs, committed_current,
+                     obs=None):
     """Write a markdown delta table (for a CI job summary)."""
     lines = [
         "### Benchmark smoke: this run vs committed BENCH_sim.json",
@@ -96,6 +106,17 @@ def write_summary_md(path, benches, allocs, committed_current):
         else:
             lines.append("| %s | - | %.3f %s | - |" % (
                 name, record["current"], record["unit"]))
+    if obs:
+        lines += [
+            "",
+            "| Observability overhead | This run | vs tracing off |",
+            "|---|---:|---:|",
+        ]
+        for name, record in obs.items():
+            delta = ("%+.1f%%" % record["vs_off_pct"]
+                     if "vs_off_pct" in record else "reference")
+            lines.append("| %s | %.3f %s | %s |" % (
+                name, record["current"], record["unit"], delta))
     if allocs:
         lines += [
             "",
@@ -172,6 +193,26 @@ def report(args):
             if entry is not None and counter in entry:
                 allocs[name] = {counter: round(entry[counter], 6)}
 
+    obs = {}
+    obs_binary = os.path.join(args.build_dir, "bench",
+                              "bench_obs_overhead")
+    if os.path.exists(obs_binary):
+        pattern = "|".join("^%s$" % name for name in OBS_BENCHMARKS)
+        obs_entries = run_benchmark_json(obs_binary, pattern,
+                                         args.min_time,
+                                         args.repetitions)
+        reference_cpu = None
+        for name in OBS_BENCHMARKS:
+            cpu, unit = best_cpu_time(obs_entries, name,
+                                      args.repetitions)
+            record = {"current": round(cpu, 3), "unit": unit}
+            if name == OBS_REFERENCE:
+                reference_cpu = cpu
+            elif reference_cpu:
+                record["vs_off_pct"] = round(
+                    (cpu / reference_cpu - 1.0) * 100, 1)
+            obs[name] = record
+
     out = {
         "_comment": (
             "Simulator hot-path benchmark report. 'baseline' is the "
@@ -184,10 +225,11 @@ def report(args):
         "max_regression": args.max_regress,
         "benchmarks": benches,
         "allocations": allocs,
+        "obs_overhead": obs,
     }
     if args.summary_md:
         write_summary_md(args.summary_md, benches, allocs,
-                         committed_current)
+                         committed_current, obs)
 
     with open(args.out, "w") as f:
         json.dump(out, f, indent=2, sort_keys=True)
@@ -198,6 +240,11 @@ def report(args):
                  if "speedup" in record else "")
         print("  %-28s %10.3f %s%s" %
               (name, record["current"], record["unit"], speed))
+    for name, record in obs.items():
+        delta = (" (%+.1f%% vs tracing off)" % record["vs_off_pct"]
+                 if "vs_off_pct" in record else "")
+        print("  %-28s %10.3f %s%s" %
+              (name, record["current"], record["unit"], delta))
     for name, counters in allocs.items():
         for counter, value in counters.items():
             print("  %-28s %10.6f %s" % (name, value, counter))

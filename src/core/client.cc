@@ -140,6 +140,9 @@ LoadTesterInstance::issueRequest(SimTime intendedSend)
         cfg.index, nextConnection++ % cfg.connections);
     workload.fill(*request);
     request->intendedSend = intendedSend;
+    // The scheduled first attempt is triggered the instant the
+    // open-loop schedule meant it to go; clones re-stamp this.
+    request->triggerAt = intendedSend;
 
     outstandingSamples.push_back(outstandingCount);
     outstandingHist.record(static_cast<double>(outstandingCount));
@@ -152,6 +155,11 @@ LoadTesterInstance::issueRequest(SimTime intendedSend)
         PendingState state;
         state.proto = *request;
         state.retriesLeft = cfg.resilience.maxRetries;
+        if (cfg.recordSpans) {
+            state.held[0] = request;
+            state.heldCount = 1;
+            state.lastPrimaryHeld = 0;
+        }
         pending.emplace(request->logicalSeqId, std::move(state));
     }
 
@@ -228,6 +236,14 @@ LoadTesterInstance::onTimeout(std::uint64_t logicalId)
         return;
     PendingState &state = it->second;
     state.timeoutEvent = 0;
+    if (state.heldCount > 0) {
+        // Span bookkeeping: the newest primary attempt just timed
+        // out. Only the first firing counts -- the awaitingHedge
+        // grace window re-arms the same event for the same attempt.
+        server::Request &primary = *state.held[state.lastPrimaryHeld];
+        if (primary.timeoutAt == kNoTime)
+            primary.timeoutAt = sim.now();
+    }
     ++timeoutCount;
     timeoutsCounter.add();
     sim.countEvent("client.timeout");
@@ -325,11 +341,19 @@ LoadTesterInstance::cloneAttempt(PendingState &state, bool hedged)
         (static_cast<std::uint64_t>(cfg.index) << 40) | nextSeq++;
     request->attempt = state.attemptsSent++;
     request->hedged = hedged;
+    // The clone is triggered *now* (backoff/hedge timer firing), not
+    // at the proto's intendedSend.
+    request->triggerAt = sim.now();
     // Hedges go out on a different connection so RSS steers them to a
     // different interrupt queue (the point of a backup request).
     if (hedged) {
         request->connectionId = globalConnectionId(
             cfg.index, nextConnection++ % cfg.connections);
+    }
+    if (cfg.recordSpans && state.heldCount < obs::kMaxSpanAttempts) {
+        if (!hedged)
+            state.lastPrimaryHeld = state.heldCount;
+        state.held[state.heldCount++] = request;
     }
     return request;
 }
@@ -374,7 +398,11 @@ LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
                     ++hedgeWinCount;
                     hedgeWinsCounter.add();
                 }
+                if (cfg.recordSpans && spanSink)
+                    recordSpan(&state, request);
                 pending.erase(it);
+            } else if (cfg.recordSpans && spanSink) {
+                recordSpan(nullptr, request);
             }
 
             TM_ASSERT(outstandingCount > 0,
@@ -396,6 +424,89 @@ LoadTesterInstance::onResponseDelivered(server::RequestPtr request)
                 completionHook(request);
         });
     });
+}
+
+namespace {
+
+/** Copy one wire attempt's stamps into its span slot. */
+void
+fillAttempt(obs::AttemptSpan &a, const server::Request &r)
+{
+    a.seqId = r.seqId;
+    a.attempt = r.attempt;
+    a.cause = r.hedged ? obs::AttemptCause::Hedge
+              : r.attempt == 0 ? obs::AttemptCause::Scheduled
+                               : obs::AttemptCause::Retry;
+    a.hedged = r.hedged;
+    a.won = false;
+    a.lbDropped = r.lbDropped;
+    a.backendId = r.backendId;
+    a.lbFailovers = r.lbFailovers;
+    a.triggerAt = r.triggerAt;
+    a.clientSend = r.clientSend;
+    a.timeoutAt = r.timeoutAt;
+    a.nicArrival = r.nicArrival;
+    a.workerStart = r.workerStart;
+    a.workerEnd = r.workerEnd;
+    a.nicDeparture = r.nicDeparture;
+    a.lbArrival = r.lbArrival;
+    a.lbDispatch = r.lbDispatch;
+    a.backendNicArrival = r.backendNicArrival;
+    a.backendWorkerStart = r.backendWorkerStart;
+    a.backendWorkerEnd = r.backendWorkerEnd;
+    a.backendNicDeparture = r.backendNicDeparture;
+    a.routerReturn = r.routerReturn;
+    a.clientNicArrival = r.clientNicArrival;
+    a.clientReceive = r.clientReceive;
+}
+
+} // namespace
+
+void
+LoadTesterInstance::recordSpan(const PendingState *state,
+                               const server::RequestPtr &winner)
+{
+    obs::SpanTrace &span = spanScratch;
+    span.logicalSeqId = winner->logicalSeqId;
+    span.clientIndex = winner->clientIndex;
+    span.isGet = winner->op == server::OpType::Get;
+    span.hit = winner->hit;
+    span.intendedSend = winner->intendedSend;
+    span.clientReceive = winner->clientReceive;
+    span.winner = -1;
+
+    if (state == nullptr || state->heldCount == 0) {
+        // Single wire attempt: the winner is the whole span.
+        span.connectionId = winner->connectionId;
+        span.attemptCount = 1;
+        span.stored = 1;
+        fillAttempt(span.attempts[0], *winner);
+        span.attempts[0].won = true;
+        span.winner = 0;
+        spanSink(spanScratch);
+        return;
+    }
+
+    span.connectionId = state->proto.connectionId;
+    span.attemptCount = state->attemptsSent;
+    const std::uint32_t n = state->heldCount;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        fillAttempt(span.attempts[i], *state->held[i]);
+        if (state->held[i]->seqId == winner->seqId) {
+            span.attempts[i].won = true;
+            span.winner = static_cast<std::int32_t>(i);
+        }
+    }
+    if (span.winner < 0) {
+        // Retention overflowed past the winning attempt: evict the
+        // last loser so the span always carries the winner's complete
+        // timeline (attemptCount still reports the true total).
+        fillAttempt(span.attempts[n - 1], *winner);
+        span.attempts[n - 1].won = true;
+        span.winner = static_cast<std::int32_t>(n - 1);
+    }
+    span.stored = n;
+    spanSink(spanScratch);
 }
 // tmlint:hot-path-end
 

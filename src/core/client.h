@@ -15,6 +15,7 @@
 #ifndef TREADMILL_CORE_CLIENT_H_
 #define TREADMILL_CORE_CLIENT_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "core/controller.h"
 #include "core/workload.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "server/request.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
@@ -104,6 +106,13 @@ struct ClientParams {
     double kernelDelayUs = 30.0; ///< NIC-to-user interrupt handling.
     /** @} */
     ResiliencePolicy resilience;
+    /**
+     * Build an obs::SpanTrace (the per-attempt tree) for every
+     * completed logical request and hand it to the span sink. Off by
+     * default: with it off the request path touches no span state at
+     * all -- attempts are not retained and no stamps are copied.
+     */
+    bool recordSpans = false;
     std::uint64_t seed = 1;
 };
 
@@ -166,6 +175,11 @@ class LoadTesterInstance
     }
     /** Busy fraction of the client CPU. */
     double cpuUtilization() const;
+    /** Slabs the request arena carved so far (pool-occupancy probe). */
+    std::size_t requestPoolSlabs() const
+    {
+        return requestPool.slabCount();
+    }
     const ClientParams &params() const { return cfg; }
     /** @} */
 
@@ -178,6 +192,17 @@ class LoadTesterInstance
         std::function<void(const server::RequestPtr &)> hook)
     {
         completionHook = std::move(hook);
+    }
+
+    /**
+     * Install the consumer of completed spans (typically
+     * obs::SpanRecorder::record via the harness). Only invoked when
+     * ClientParams::recordSpans is set; the SpanTrace argument is a
+     * scratch object reused across calls -- copy it if retained.
+     */
+    void setSpanSink(std::function<void(const obs::SpanTrace &)> sink)
+    {
+        spanSink = std::move(sink);
     }
 
   private:
@@ -194,6 +219,18 @@ class LoadTesterInstance
         sim::EventId timeoutEvent = 0;
         sim::EventId hedgeEvent = 0;
         sim::EventId retryEvent = 0; ///< Backoff-delayed retry send.
+        /** @name Attempt retention (recordSpans only)
+         * Every wire attempt is held alive until the logical request
+         * completes so its stamps survive into the SpanTrace (losing
+         * attempts keep partial timelines). The pool recycles them
+         * when the entry is erased. Empty when recordSpans is off.
+         * @{ */
+        std::array<server::RequestPtr, obs::kMaxSpanAttempts> held;
+        std::uint32_t heldCount = 0;
+        /** Index (into held) of the newest non-hedged attempt -- the
+         *  one whose timeout fires next. */
+        std::uint32_t lastPrimaryHeld = 0;
+        /** @} */
     };
 
     /** Controller callback: build and send one request. */
@@ -216,6 +253,14 @@ class LoadTesterInstance
 
     /** Clone the prototype of @p state into a new wire attempt. */
     server::RequestPtr cloneAttempt(PendingState &state, bool hedged);
+
+    /**
+     * Build the span of a completed logical request into spanScratch
+     * and hand it to the sink. @p state may be null (resilience
+     * disabled: the single @p winner attempt is the whole span).
+     */
+    void recordSpan(const PendingState *state,
+                    const server::RequestPtr &winner);
 
     sim::Simulation &sim;
     ClientParams cfg;
@@ -244,6 +289,10 @@ class LoadTesterInstance
     std::uint64_t lateCount = 0;
     std::vector<std::uint64_t> outstandingSamples;
     std::function<void(const server::RequestPtr &)> completionHook;
+    std::function<void(const obs::SpanTrace &)> spanSink;
+    /** Reused span buffer: recordSpan fills it in place, so span
+     *  emission allocates nothing on the hot path. */
+    obs::SpanTrace spanScratch;
     /** Logical requests awaiting their first response (resilience
      *  enabled only; empty and untouched otherwise). */
     std::unordered_map<std::uint64_t, PendingState> pending;

@@ -123,6 +123,8 @@ struct Harness {
     std::unique_ptr<fault::FaultInjector> injector;
     std::vector<std::unique_ptr<LoadTesterInstance>> instances;
     obs::TraceRecorder recorder;
+    obs::SpanRecorder spanRecorder;
+    obs::TelemetrySampler sampler;
     bool deadlineHit = false;
 
     std::uint64_t responsesCompleted = 0;
@@ -159,6 +161,19 @@ struct Harness {
         if (!backendShims.empty())
             return *backendShims[i];
         return *backendServers[i];
+    }
+
+    /**
+     * One telemetry snapshot, self-rescheduling on the sampler's
+     * period until the tick cap is hit. Probes are read-only and
+     * Rng-free, so these events never perturb the request trajectory.
+     */
+    void
+    telemetryTick()
+    {
+        sampler.sample(sim.now());
+        if (!sampler.full())
+            sim.schedule(sampler.period(), [this] { telemetryTick(); });
     }
 };
 
@@ -208,7 +223,8 @@ wireClusterTier(Harness *h)
         h->backendServers.push_back(
             std::make_unique<server::MemcachedServer>(
                 *h->backendMachines.back(), params.memcachedParams,
-                shardSeed, strprintf("backend%u", b)));
+                shardSeed, strprintf("backend%u", b),
+                /*backendRole=*/true));
         if (withShims) {
             h->backendShims.push_back(
                 std::make_unique<server::ServiceFaultShim>(
@@ -228,6 +244,7 @@ wireClusterTier(Harness *h)
                 h->sim, pkt,
                 [h, b, request = std::move(request),
                  respond = std::move(respond)](const net::Packet &) mutable {
+                    request->backendNicArrival = h->sim.now();
                     h->backendService(b).receive(
                         std::move(request),
                         [h, b, respond = std::move(respond)](
@@ -266,6 +283,8 @@ runExperiment(const ExperimentParams &params)
     auto h = std::make_unique<Harness>();
     h->params = params;
     h->recorder = obs::TraceRecorder(params.trace);
+    h->spanRecorder = obs::SpanRecorder(params.trace);
+    h->sampler = obs::TelemetrySampler(params.telemetry);
 
     h->machine = std::make_unique<hw::Machine>(h->sim, params.machine,
                                                params.config, params.seed);
@@ -358,6 +377,7 @@ runExperiment(const ExperimentParams &params)
         cp.receiveCostUs = params.clientReceiveCostUs;
         cp.kernelDelayUs = params.clientKernelDelayUs;
         cp.resilience = params.resilience;
+        cp.recordSpans = params.trace.enabled;
         cp.seed = params.seed * 1009 + i;
 
         auto *harness = h.get();
@@ -406,6 +426,11 @@ runExperiment(const ExperimentParams &params)
                             });
                     });
             });
+        if (params.trace.enabled) {
+            instance->setSpanSink([harness](const obs::SpanTrace &s) {
+                harness->spanRecorder.record(s);
+            });
+        }
         h->instances.push_back(std::move(instance));
     }
 
@@ -422,6 +447,7 @@ runExperiment(const ExperimentParams &params)
     h->clientComponentUs.reserve(expectedResponses);
     h->getLatencyUs.reserve(expectedResponses);
     h->setLatencyUs.reserve(expectedResponses);
+    h->spanRecorder.reserveFor(expectedResponses);
 
     // Completion hook: decompose latency, stop load at per-instance
     // targets, stop the simulation when every instance is done.
@@ -461,6 +487,12 @@ runExperiment(const ExperimentParams &params)
                     trace.nicDeparture = req->nicDeparture;
                     trace.clientNicArrival = req->clientNicArrival;
                     trace.clientReceive = req->clientReceive;
+                    // Satellite of the span model: the flat trace
+                    // learns when the *winning* attempt was triggered,
+                    // so its decomposition accounts the pre-win gap
+                    // explicitly instead of smearing it over client
+                    // queueing.
+                    trace.winnerTrigger = req->triggerAt;
                     harness->recorder.record(trace);
                 }
 
@@ -474,6 +506,50 @@ runExperiment(const ExperimentParams &params)
                 if (allDone)
                     harness->sim.stop();
             });
+    }
+
+    // Telemetry: register every probe (registration order is the
+    // stable export order), then kick the first tick at t=0. Probes
+    // are plain reads of state the run maintains anyway.
+    if (params.telemetry.enabled) {
+        auto *harness = h.get();
+        harness->sampler.addProbe("sim.event_queue_depth", [harness] {
+            return static_cast<double>(harness->sim.pendingEvents());
+        });
+        harness->sampler.addProbe(
+            "server.worker_utilization", [harness] {
+                return harness->machine->workerUtilization();
+            });
+        for (std::size_t i = 0; i < h->instances.size(); ++i) {
+            LoadTesterInstance *inst = h->instances[i].get();
+            harness->sampler.addProbe(
+                strprintf("client%zu.outstanding", i), [inst] {
+                    return static_cast<double>(inst->outstanding());
+                });
+            harness->sampler.addProbe(
+                strprintf("client%zu.pool_slabs", i), [inst] {
+                    return static_cast<double>(
+                        inst->requestPoolSlabs());
+                });
+        }
+        if (h->balancer) {
+            lb::LoadBalancer *bal = h->balancer.get();
+            harness->sampler.addProbe("lb.queue_depth", [bal] {
+                return static_cast<double>(bal->queueDepth());
+            });
+            for (std::uint32_t b = 0; b < params.cluster.backends;
+                 ++b) {
+                harness->sampler.addProbe(
+                    strprintf("backend%u.inflight", b), [bal, b] {
+                        return static_cast<double>(bal->inflightOf(b));
+                    });
+                hw::Machine *bm = h->backendMachines[b].get();
+                harness->sampler.addProbe(
+                    strprintf("backend%u.worker_utilization", b),
+                    [bm] { return bm->workerUtilization(); });
+            }
+        }
+        h->telemetryTick();
     }
 
     for (auto &instance : h->instances)
@@ -524,6 +600,8 @@ runExperiment(const ExperimentParams &params)
     }
 
     result.traces = h->recorder.takeTraces();
+    result.spans = h->spanRecorder.takeSpans();
+    result.telemetry = h->sampler.takeSeries();
     if (h->injector)
         result.faultWindows = h->injector->annotations();
     result.serverComponentUs = std::move(h->serverComponentUs);

@@ -30,6 +30,8 @@
 #include "hw/hardware_config.h"
 #include "hw/machine_spec.h"
 #include "lb/policy.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "server/mcrouter.h"
 #include "server/memcached.h"
@@ -134,9 +136,19 @@ struct ExperimentParams {
     /**
      * Request-lifecycle tracing (off by default). Sampling is by
      * completion order, deterministic and Rng-free, so enabling it
-     * cannot perturb the run.
+     * cannot perturb the run. The one knob drives both the flat
+     * RequestTrace export and the per-attempt SpanTrace export.
      */
     obs::TraceConfig trace;
+
+    /**
+     * Deterministic sim-time telemetry (off by default): periodic
+     * snapshots of per-backend gauges -- queue depths, inflight,
+     * utilization, pool occupancy, event-queue depth -- sampled on the
+     * simulated clock with read-only probes, so enabling it cannot
+     * perturb the trajectory either.
+     */
+    obs::TelemetryConfig telemetry;
 
     ExperimentParams() { tester = treadmillSpec(); }
 };
@@ -178,6 +190,13 @@ struct ExperimentResult {
 
     /** Sampled request timelines (empty unless params.trace.enabled). */
     std::vector<obs::RequestTrace> traces;
+
+    /** Sampled per-attempt span trees (empty unless
+     *  params.trace.enabled; same completion-order sampling). */
+    std::vector<obs::SpanTrace> spans;
+
+    /** Telemetry time series (empty unless params.telemetry.enabled). */
+    obs::TelemetrySeries telemetry;
 
     /** Concrete fault windows the injector applied (one annotation per
      *  window; empty when the run had no fault plan). Pass these to

@@ -75,12 +75,15 @@ LoadBalancer::backendHealthy(std::uint32_t b) const
     return !probe || probe();
 }
 
+// tmlint:hot-path-begin -- receive/dispatch/drainQueue run once per
+// routed request; stamping and selection must stay alloc-free.
 void
 LoadBalancer::receive(server::RequestPtr request,
                       server::RespondFn respond)
 {
     TM_ASSERT(hooks.size() == params.backends,
               "balancer used before all backends attached");
+    request->lbArrival = sim.now();
     ring.replicas(HashRing::hashKey(request->key), params.replication,
                   scratchReplicas);
     scratchHealthy.clear();
@@ -92,6 +95,9 @@ LoadBalancer::receive(server::RequestPtr request,
         // Every replica of this key is down. The request dies here;
         // the client's timeout/retry machinery owns unanswered
         // requests, and the counter makes the black hole visible.
+        // The stamp lets span traces account the loss as failover
+        // wait instead of an anonymous timeout.
+        request->lbDropped = true;
         ++unroutableCount;
         unroutableCounter.add();
         return;
@@ -99,6 +105,15 @@ LoadBalancer::receive(server::RequestPtr request,
     if (scratchHealthy.front() != scratchReplicas.front()) {
         ++failoverCount;
         failoversCounter.add();
+        // Down replicas skipped ahead of the first healthy one: the
+        // per-attempt failover hop count for span traces.
+        std::uint32_t hops = 0;
+        for (std::uint32_t b : scratchReplicas) {
+            if (b == scratchHealthy.front())
+                break;
+            ++hops;
+        }
+        request->lbFailovers = hops;
     }
 
     if (params.maxInflightPerBackend > 0) {
@@ -150,6 +165,7 @@ LoadBalancer::dispatch(std::uint32_t b, server::RequestPtr request,
     backendDispatched[b]->add();
     backendInflight[b]->set(static_cast<double>(inflight[b]));
     request->backendId = static_cast<std::int32_t>(b);
+    request->lbDispatch = sim.now();
     auto &hook = hooks[b];
     hook.forward(
         std::move(request),
@@ -197,6 +213,7 @@ LoadBalancer::drainQueue()
         dispatch(target, std::move(request), std::move(respond));
     }
 }
+// tmlint:hot-path-end
 
 } // namespace lb
 } // namespace treadmill

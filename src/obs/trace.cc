@@ -23,21 +23,38 @@ timelineMonotonic(const RequestTrace &t)
     for (std::size_t i = 1; i < std::size(order); ++i)
         if (order[i] < order[i - 1])
             return false;
+    if (t.winnerTrigger != kNoTime &&
+        (t.winnerTrigger < t.intendedSend ||
+         t.winnerTrigger > t.clientSend))
+        return false;
     return true;
 }
 
 double
 Decomposition::totalUs() const
 {
-    return clientQueueUs + netRequestUs + serverQueueUs + serviceUs +
-           serverNicUs + netResponseUs + clientDeliverUs;
+    return preWinUs + clientQueueUs + netRequestUs + serverQueueUs +
+           serviceUs + serverNicUs + netResponseUs + clientDeliverUs;
+}
+
+/** The winning attempt's trigger instant, clamped to the timeline so
+ *  a malformed stamp degrades to the classic no-pre-win split. */
+static SimTime
+winnerTriggerOf(const RequestTrace &t)
+{
+    if (t.winnerTrigger == kNoTime || t.winnerTrigger < t.intendedSend ||
+        t.winnerTrigger > t.clientSend)
+        return t.intendedSend;
+    return t.winnerTrigger;
 }
 
 Decomposition
 Decomposition::of(const RequestTrace &t)
 {
     Decomposition d;
-    d.clientQueueUs = toMicros(t.clientSend - t.intendedSend);
+    const SimTime trigger = winnerTriggerOf(t);
+    d.preWinUs = toMicros(trigger - t.intendedSend);
+    d.clientQueueUs = toMicros(t.clientSend - trigger);
     d.netRequestUs = toMicros(t.nicArrival - t.clientSend);
     d.serverQueueUs = toMicros(t.workerStart - t.nicArrival);
     d.serviceUs = toMicros(t.workerEnd - t.workerStart);
@@ -52,17 +69,18 @@ const std::vector<std::string> &
 decompositionComponentNames()
 {
     static const std::vector<std::string> names = {
-        "client queue",  "net request", "server queue", "service",
-        "server nic",    "net response", "client deliver"};
+        "pre-win wait",  "client queue", "net request",
+        "server queue",  "service",      "server nic",
+        "net response",  "client deliver"};
     return names;
 }
 
 std::vector<double>
 decompositionComponents(const Decomposition &d)
 {
-    return {d.clientQueueUs, d.netRequestUs,  d.serverQueueUs,
-            d.serviceUs,     d.serverNicUs,   d.netResponseUs,
-            d.clientDeliverUs};
+    return {d.preWinUs,    d.clientQueueUs, d.netRequestUs,
+            d.serverQueueUs, d.serviceUs,   d.serverNicUs,
+            d.netResponseUs, d.clientDeliverUs};
 }
 
 TraceRecorder::TraceRecorder(const TraceConfig &config) : cfg(config)
@@ -126,9 +144,14 @@ spanEvent(const RequestTrace &t, const std::string &name, SimTime begin,
 
 std::string
 chromeTraceJson(const std::vector<RequestTrace> &traces,
-                const std::vector<TraceAnnotation> &annotations)
+                const std::vector<TraceAnnotation> &annotations,
+                const TelemetrySeries *telemetry)
 {
     json::Array events;
+
+    // Telemetry gauges render as counter tracks on their own process.
+    if (telemetry != nullptr)
+        appendChromeCounterEvents(events, *telemetry);
 
     // Fault windows (and other annotations) live on their own process
     // so they render as a separate swim-lane above the request spans.
@@ -176,10 +199,11 @@ chromeTraceJson(const std::vector<RequestTrace> &traces,
 
     const auto &names = decompositionComponentNames();
     for (const RequestTrace &t : traces) {
-        const SimTime edges[] = {t.intendedSend,     t.clientSend,
-                                 t.nicArrival,       t.workerStart,
-                                 t.workerEnd,        t.nicDeparture,
-                                 t.clientNicArrival, t.clientReceive};
+        const SimTime edges[] = {t.intendedSend,     winnerTriggerOf(t),
+                                 t.clientSend,       t.nicArrival,
+                                 t.workerStart,      t.workerEnd,
+                                 t.nicDeparture,     t.clientNicArrival,
+                                 t.clientReceive};
         for (std::size_t i = 0; i < names.size(); ++i)
             events.push_back(
                 spanEvent(t, names[i], edges[i], edges[i + 1]));
@@ -198,20 +222,21 @@ std::string
 decompositionCsv(const std::vector<RequestTrace> &traces)
 {
     std::string out =
-        "seq_id,client,op,hit,client_queue_us,net_request_us,"
-        "server_queue_us,service_us,server_nic_us,net_response_us,"
-        "client_deliver_us,component_sum_us,end_to_end_us\n";
+        "seq_id,client,op,hit,pre_win_us,client_queue_us,"
+        "net_request_us,server_queue_us,service_us,server_nic_us,"
+        "net_response_us,client_deliver_us,component_sum_us,"
+        "end_to_end_us\n";
     for (const RequestTrace &t : traces) {
         const Decomposition d = Decomposition::of(t);
         out += strprintf(
-            "%llu,%llu,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,"
+            "%llu,%llu,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,"
             "%.3f,%.3f\n",
             static_cast<unsigned long long>(t.seqId),
             static_cast<unsigned long long>(t.clientIndex),
-            t.isGet ? "get" : "set", t.hit ? 1 : 0, d.clientQueueUs,
-            d.netRequestUs, d.serverQueueUs, d.serviceUs, d.serverNicUs,
-            d.netResponseUs, d.clientDeliverUs, d.totalUs(),
-            d.endToEndUs);
+            t.isGet ? "get" : "set", t.hit ? 1 : 0, d.preWinUs,
+            d.clientQueueUs, d.netRequestUs, d.serverQueueUs,
+            d.serviceUs, d.serverNicUs, d.netResponseUs,
+            d.clientDeliverUs, d.totalUs(), d.endToEndUs);
     }
     return out;
 }

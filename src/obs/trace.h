@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "util/types.h"
 
 namespace treadmill {
@@ -47,23 +48,39 @@ struct RequestTrace {
     SimTime clientNicArrival = kNoTime; ///< Response at the client NIC.
     SimTime clientReceive = kNoTime;    ///< Response callback ran.
     /** @} */
+
+    /**
+     * When the client decided to send the *winning* attempt. For
+     * retried/hedged requests the stamps above belong to whichever
+     * attempt answered first while latency is still measured from the
+     * original intendedSend, so [intendedSend, winnerTrigger] is
+     * retry/hedge policy delay -- the pre-win wait -- and must not be
+     * mis-bucketed as client queueing. kNoTime (or == intendedSend,
+     * the single-attempt case) means no pre-win gap.
+     */
+    SimTime winnerTrigger = kNoTime;
 };
 
 /**
  * True when every stamp is set and the timeline is monotone:
  * intendedSend <= clientSend <= nicArrival <= workerStart <= workerEnd
- * <= nicDeparture <= clientNicArrival <= clientReceive.
+ * <= nicDeparture <= clientNicArrival <= clientReceive. When
+ * winnerTrigger is set it must additionally sit inside
+ * [intendedSend, clientSend].
  */
 bool timelineMonotonic(const RequestTrace &trace);
 
 /**
  * The full-path latency decomposition of one request, in microseconds.
  *
- * The seven components partition [intendedSend, clientReceive], so
+ * The eight components partition [intendedSend, clientReceive], so
  * totalUs() equals endToEndUs exactly (integer-nanosecond stamps).
  */
 struct Decomposition {
-    double clientQueueUs = 0.0;   ///< Send slip: intendedSend->clientSend.
+    double preWinUs = 0.0;        ///< Retry/hedge policy delay before the
+                                  ///< winning attempt was even triggered:
+                                  ///< intendedSend->winnerTrigger.
+    double clientQueueUs = 0.0;   ///< Send slip: winnerTrigger->clientSend.
     double netRequestUs = 0.0;    ///< clientSend->nicArrival.
     double serverQueueUs = 0.0;   ///< NIC-to-worker wait: nicArrival->workerStart.
     double serviceUs = 0.0;       ///< workerStart->workerEnd.
@@ -72,7 +89,7 @@ struct Decomposition {
     double clientDeliverUs = 0.0; ///< Kernel + callback: clientNicArrival->clientReceive.
     double endToEndUs = 0.0;      ///< intendedSend->clientReceive.
 
-    /** Sum of the seven components. */
+    /** Sum of the eight components. */
     double totalUs() const;
 
     /** Decompose @p trace (stamps must be monotone and complete). */
@@ -136,18 +153,21 @@ struct TraceAnnotation {
 
 /**
  * Render traces as a Chrome trace-event JSON document: one "process"
- * per client, one track per request, seven complete ("ph":"X") spans
+ * per client, one track per request, eight complete ("ph":"X") spans
  * covering the full path. Timestamps are microseconds. Optional
  * @p annotations (fault windows) render as spans on a dedicated
- * "faults" process so they line up against request timelines.
+ * "faults" process so they line up against request timelines, and an
+ * optional @p telemetry series renders as "ph":"C" counter tracks on
+ * a dedicated "telemetry" process.
  */
 std::string
 chromeTraceJson(const std::vector<RequestTrace> &traces,
-                const std::vector<TraceAnnotation> &annotations = {});
+                const std::vector<TraceAnnotation> &annotations = {},
+                const TelemetrySeries *telemetry = nullptr);
 
 /**
  * Render traces as a per-request decomposition CSV: one row per
- * request with the seven component latencies, their sum, and the
+ * request with the eight component latencies, their sum, and the
  * end-to-end latency (all microseconds).
  */
 std::string decompositionCsv(const std::vector<RequestTrace> &traces);

@@ -88,6 +88,10 @@ McrouterServer::deserializeOnWorker(RequestPtr request, RespondFn respond,
                 std::move(request),
                 [this, respond = std::move(respond)](
                     const RequestPtr &resp) mutable {
+                    // The instant the shard's response re-entered the
+                    // router tier (span traces split fabric time from
+                    // router egress on this stamp).
+                    resp->routerReturn = machine.simulation().now();
                     serializeOnWorker(resp, std::move(respond));
                 });
             return;
@@ -128,7 +132,8 @@ McrouterServer::serializeOnWorker(RequestPtr request, RespondFn respond)
         }
         ++servedCount;
         request->nicDeparture = end;
-        metrics.onServed(*request);
+        metrics.onServed(*request, request->nicArrival,
+                         request->workerStart, end);
         respond(request);
     };
     machine.submit(coreId, std::move(work));

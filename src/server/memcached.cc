@@ -11,20 +11,23 @@ namespace server {
 MemcachedServer::MemcachedServer(hw::Machine &machine_,
                                  const MemcachedParams &params_,
                                  std::uint64_t seed,
-                                 const std::string &scope)
+                                 const std::string &scope,
+                                 bool backendRole_)
     : machine(machine_), params(params_), kv(params_.storeCapacityBytes),
       rng(Rng(0x6d656d63616368ull).substream(seed)),
       jitter(-0.5 * params_.workJitterSigma * params_.workJitterSigma,
              params_.workJitterSigma),
-      metrics(machine_.simulation().metrics(), scope)
+      metrics(machine_.simulation().metrics(), scope),
+      backendRole(backendRole_)
 {
 }
 
 void
 MemcachedServer::receive(RequestPtr request, RespondFn respond)
 {
-    TM_ASSERT(request->nicArrival != kNoTime,
-              "request must be stamped with nicArrival");
+    TM_ASSERT(backendRole ? request->backendNicArrival != kNoTime
+                          : request->nicArrival != kNoTime,
+              "request must be stamped with its NIC arrival");
 
     const unsigned irqCore =
         machine.nic().irqCore(request->connectionId);
@@ -78,8 +81,15 @@ MemcachedServer::executeOnWorker(RequestPtr request, RespondFn respond,
     work.done = [this, request = std::move(request),
                  respond = std::move(respond)](SimTime start,
                                                SimTime end) mutable {
-        request->workerStart = start;
-        request->workerEnd = end;
+        // A backend shard keeps its window in the backend* stamps so
+        // the router's workerStart/End on the same Request survive.
+        if (backendRole) {
+            request->backendWorkerStart = start;
+            request->backendWorkerEnd = end;
+        } else {
+            request->workerStart = start;
+            request->workerEnd = end;
+        }
 
         // Perform the real hash-table operation.
         if (request->op == OpType::Set) {
@@ -98,8 +108,14 @@ MemcachedServer::executeOnWorker(RequestPtr request, RespondFn respond,
         }
 
         ++servedCount;
-        request->nicDeparture = end;
-        metrics.onServed(*request);
+        if (backendRole) {
+            request->backendNicDeparture = end;
+            metrics.onServed(*request, request->backendNicArrival,
+                             start, end);
+        } else {
+            request->nicDeparture = end;
+            metrics.onServed(*request, request->nicArrival, start, end);
+        }
         respond(request);
     };
     machine.submit(coreId, std::move(work));

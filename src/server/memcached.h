@@ -54,10 +54,16 @@ class MemcachedServer : public Service
      * @param scope Metric-name prefix ("server" for the classic single
      *        server, "backend<i>" for a cluster shard); claimed
      *        exclusively in the machine's registry.
+     * @param backendRole True when this instance is a cluster shard
+     *        behind a router. A shard records its worker window into
+     *        the backendWorkerStart/End + backendNicDeparture stamps so
+     *        it never clobbers the router's workerStart/End timeline on
+     *        the shared Request (span traces need both tiers).
      */
     MemcachedServer(hw::Machine &machine, const MemcachedParams &params,
                     std::uint64_t seed,
-                    const std::string &scope = "server");
+                    const std::string &scope = "server",
+                    bool backendRole = false);
 
     void receive(RequestPtr request, RespondFn respond) override;
 
@@ -86,6 +92,7 @@ class MemcachedServer : public Service
     Rng rng;
     LogNormal jitter;
     ServerMetrics metrics;
+    bool backendRole;
     std::uint64_t servedCount = 0;
 };
 

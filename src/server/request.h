@@ -70,6 +70,41 @@ struct Request {
     SimTime clientReceive = kNoTime; ///< Response callback ran.
     /** @} */
 
+    /** @name Per-attempt resilience stamps
+     * triggerAt is the instant the client decided to send *this*
+     * attempt: the intendedSend for the scheduled first attempt, the
+     * backoff/hedge timer firing for clones. The gap
+     * [intendedSend, triggerAt] is the pre-win wait the decomposition
+     * must account explicitly (it is retry/hedge policy delay, not
+     * client queueing). timeoutAt records when this attempt's timeout
+     * fired, kNoTime if it never did.
+     * @{
+     */
+    SimTime triggerAt = kNoTime;
+    SimTime timeoutAt = kNoTime;
+    /** @} */
+
+    /** @name Cluster-tier hop stamps (kNoTime on the classic path)
+     * Stamped along the router -> balancer -> fabric -> backend chain
+     * so span traces can split LB queueing, fabric transit, and
+     * backend residence out of what used to collapse into one opaque
+     * worker interval.
+     * @{
+     */
+    SimTime lbArrival = kNoTime;  ///< Entered the balancer.
+    SimTime lbDispatch = kNoTime; ///< Left the balancer queue.
+    SimTime backendNicArrival = kNoTime;  ///< Reached the shard NIC.
+    SimTime backendWorkerStart = kNoTime; ///< Shard worker began.
+    SimTime backendWorkerEnd = kNoTime;   ///< Shard worker finished.
+    SimTime backendNicDeparture = kNoTime; ///< Left the shard NIC.
+    SimTime routerReturn = kNoTime; ///< Response back at the router.
+    /** Healthy-failover hops: down replicas skipped ahead of the one
+     *  that got this attempt. */
+    std::uint32_t lbFailovers = 0;
+    /** The balancer dropped this attempt (every replica down). */
+    bool lbDropped = false;
+    /** @} */
+
     /** End-to-end latency as the load tester perceives it, in us. */
     double
     clientLatencyUs() const

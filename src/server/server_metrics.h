@@ -41,14 +41,24 @@ class ServerMetrics
         registry.claimScope(scope);
     }
 
-    /** Record one fully served request from its timeline stamps. */
+    /**
+     * Record one fully served request.
+     *
+     * The stamps are passed explicitly rather than read off the
+     * request because in a cluster the same Request object crosses
+     * both the router and a backend shard, each with its own
+     * arrival/start/end instants; reading the shared fields would
+     * credit one tier with the other's queueing. @p arrival may be
+     * kNoTime for a service fed without NIC stamping (direct harness
+     * injection), in which case the queue wait is not recorded.
+     */
     void
-    onServed(const Request &request)
+    onServed(const Request &request, SimTime arrival, SimTime start,
+             SimTime end)
     {
-        queueWaitUs.record(
-            toMicros(request.workerStart - request.nicArrival));
-        serviceUs.record(
-            toMicros(request.workerEnd - request.workerStart));
+        if (arrival != kNoTime)
+            queueWaitUs.record(toMicros(start - arrival));
+        serviceUs.record(toMicros(end - start));
         (request.hit ? hits : misses).add();
         served.add();
     }

@@ -57,7 +57,7 @@ SqlishServer::receive(RequestPtr request, RespondFn respond)
             request->responseBytes = 256;
             ++servedCount;
             request->nicDeparture = end;
-            metrics.onServed(*request);
+            metrics.onServed(*request, request->nicArrival, start, end);
             respond(request);
         };
         machine.submit(workerCoreId, std::move(query));

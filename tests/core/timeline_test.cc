@@ -55,7 +55,7 @@ TEST(TimelineTest, DecompositionReportCoversFullPath)
 {
     const auto result = runExperiment(tracedParams());
     const auto report = analysis::decomposeTraces(result.traces);
-    ASSERT_EQ(report.components.size(), 7u);
+    ASSERT_EQ(report.components.size(), 8u);
     EXPECT_EQ(report.requestCount, result.traces.size());
     double meanSum = 0.0;
     for (const auto &component : report.components)

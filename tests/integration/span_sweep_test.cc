@@ -1,0 +1,163 @@
+/** @file Property sweep over fault plans x resilience policies x
+ *  balancer policies: every exported span must be structurally
+ *  complete and monotone, and its critical path must telescope to the
+ *  end-to-end latency at integer-nanosecond exactness. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "fault/plan.h"
+#include "obs/span.h"
+
+namespace treadmill {
+namespace core {
+namespace {
+
+fault::FaultPlan
+backendStallPlan()
+{
+    fault::FaultPlan plan;
+    fault::FaultEvent ev;
+    ev.kind = fault::FaultKind::ServerStall;
+    ev.backend = 2;
+    ev.start = milliseconds(5);
+    ev.duration = milliseconds(2);
+    ev.period = milliseconds(15);
+    ev.repeatCount = 10;
+    plan.events.push_back(ev);
+    return plan;
+}
+
+ResiliencePolicy
+timeoutRetry()
+{
+    ResiliencePolicy r;
+    r.enabled = true;
+    r.timeoutUs = 3'000.0;
+    r.maxRetries = 2;
+    r.backoffBaseUs = 200.0;
+    return r;
+}
+
+ResiliencePolicy
+hedgeAndRetry()
+{
+    ResiliencePolicy r = timeoutRetry();
+    r.hedge = true;
+    r.hedgeDelayUs = 1'500.0;
+    return r;
+}
+
+ExperimentParams
+sweepParams(const fault::FaultPlan &plan, const ResiliencePolicy &res,
+            lb::PolicyKind policy, std::uint64_t seed)
+{
+    ExperimentParams p;
+    p.kind = WorkloadKind::Mcrouter;
+    p.targetUtilization = 0.4;
+    p.collector.warmUpSamples = 50;
+    p.collector.calibrationSamples = 50;
+    p.collector.measurementSamples = 400;
+    p.cluster.backends = 4;
+    p.cluster.replication = 2;
+    p.cluster.policy = policy;
+    p.faultPlan = plan;
+    p.resilience = res;
+    p.trace.enabled = true;
+    p.seed = seed;
+    p.deadline = seconds(5);
+    return p;
+}
+
+/** The property every cell must satisfy. */
+void
+checkSpans(const ExperimentResult &result, const std::string &label)
+{
+    ASSERT_FALSE(result.spans.empty()) << label;
+    for (const obs::SpanTrace &span : result.spans) {
+        ASSERT_TRUE(obs::spanComplete(span)) << label;
+        std::uint32_t winners = 0;
+        for (std::uint32_t i = 0; i < span.stored; ++i) {
+            EXPECT_TRUE(obs::attemptMonotonic(span.attempts[i]))
+                << label << " attempt " << i;
+            winners += span.attempts[i].won ? 1 : 0;
+        }
+        EXPECT_EQ(winners, 1u) << label;
+
+        obs::CriticalPath path;
+        ASSERT_TRUE(obs::extractCriticalPath(span, path)) << label;
+        // Exact integer-nanosecond telescoping: no epsilon.
+        EXPECT_EQ(path.totalNs(),
+                  span.clientReceive - span.intendedSend)
+            << label;
+        const auto d = obs::ClusterDecomposition::of(span);
+        ASSERT_TRUE(d.valid) << label;
+        EXPECT_EQ(d.totalNs(), d.endToEndNs) << label;
+    }
+}
+
+TEST(SpanSweepTest, EverySpanCompleteMonotoneAndExact)
+{
+    const std::vector<std::pair<std::string, fault::FaultPlan>> plans =
+        {{"healthy", {}}, {"stall2", backendStallPlan()}};
+    const std::vector<std::pair<std::string, ResiliencePolicy>>
+        policies = {{"plain", {}},
+                    {"retry", timeoutRetry()},
+                    {"hedge+retry", hedgeAndRetry()}};
+    const std::vector<std::pair<std::string, lb::PolicyKind>> lbs = {
+        {"fcfs", lb::PolicyKind::Fcfs},
+        {"p2c", lb::PolicyKind::PowerOfTwo}};
+
+    std::uint64_t seed = 101;
+    std::vector<ExperimentParams> runs;
+    std::vector<std::string> labels;
+    for (const auto &[planName, plan] : plans)
+        for (const auto &[resName, res] : policies)
+            for (const auto &[lbName, lbPolicy] : lbs) {
+                runs.push_back(
+                    sweepParams(plan, res, lbPolicy, seed));
+                seed += 13;
+                labels.push_back(planName + "/" + resName + "/" +
+                                 lbName);
+            }
+
+    const auto results = runExperiments(runs);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        checkSpans(results[i], labels[i]);
+}
+
+TEST(SpanSweepTest, FaultySweepProducesMultiAttemptSpans)
+{
+    // The stalled-shard + retry + hedge cell must actually exercise
+    // the multi-attempt machinery, or the sweep proves nothing.
+    const auto result = runExperiment(sweepParams(
+        backendStallPlan(), hedgeAndRetry(), lb::PolicyKind::Fcfs,
+        4242));
+    std::size_t multi = 0;
+    for (const obs::SpanTrace &span : result.spans)
+        multi += span.stored > 1 ? 1 : 0;
+    EXPECT_GT(multi, 0u);
+}
+
+TEST(SpanSweepTest, ClassicPathSpansAlsoTelescope)
+{
+    // backends == 0: the classic single-server wire path.
+    ExperimentParams p;
+    p.collector.warmUpSamples = 50;
+    p.collector.calibrationSamples = 50;
+    p.collector.measurementSamples = 400;
+    p.trace.enabled = true;
+    p.seed = 7;
+    const auto result = runExperiment(p);
+    checkSpans(result, "classic");
+    // Classic spans never carry cluster stamps.
+    for (const obs::SpanTrace &span : result.spans)
+        EXPECT_EQ(span.attempts[span.winner].lbArrival, kNoTime);
+}
+
+} // namespace
+} // namespace core
+} // namespace treadmill

@@ -70,9 +70,10 @@ TEST(TraceTest, ComponentNamesAndValuesAlign)
     const auto &names = decompositionComponentNames();
     const auto values =
         decompositionComponents(Decomposition::of(sampleTrace()));
-    ASSERT_EQ(names.size(), 7u);
+    ASSERT_EQ(names.size(), 8u);
     ASSERT_EQ(values.size(), names.size());
-    EXPECT_EQ(names.front(), "client queue");
+    EXPECT_EQ(names.front(), "pre-win wait");
+    EXPECT_EQ(names[1], "client queue");
     EXPECT_EQ(names.back(), "client deliver");
 }
 
@@ -124,8 +125,10 @@ TEST(TraceTest, ChromeTraceJsonShape)
 
     ASSERT_TRUE(doc.contains("traceEvents"));
     const json::Array &events = doc.at("traceEvents").asArray();
-    // 2 process-name metadata records + 7 spans per request.
-    ASSERT_EQ(events.size(), 2u + 2u * 7u);
+    // 2 process-name metadata records + 8 spans per request (the
+    // pre-win wait lane is present, zero-length, for single-attempt
+    // requests).
+    ASSERT_EQ(events.size(), 2u + 2u * 8u);
 
     std::size_t metadata = 0;
     std::size_t spans = 0;
@@ -145,7 +148,7 @@ TEST(TraceTest, ChromeTraceJsonShape)
         }
     }
     EXPECT_EQ(metadata, 2u);
-    EXPECT_EQ(spans, 14u);
+    EXPECT_EQ(spans, 16u);
     EXPECT_EQ(doc.at("otherData").at("tool").asString(), "treadmill");
 }
 
