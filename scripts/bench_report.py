@@ -50,6 +50,14 @@ OBS_BENCHMARKS = [
     "BM_ExperimentSpansAndTelemetry",
 ]
 
+# Run store: the per-run persistence cost (rides the StudyDriver's
+# simulation thread) and a full refit-from-archive.
+STORE_BENCHMARKS = [
+    "BM_StoreWriteRun",
+    "BM_StoreEncodeRunRecord",
+    "BM_StoreRefit",
+]
+
 
 def run_benchmark_json(binary, bench_filter, min_time, repetitions=1):
     """Run a google-benchmark binary, return parsed entries by name."""
@@ -88,7 +96,7 @@ def best_cpu_time(entries, name, repetitions):
 
 
 def write_summary_md(path, benches, allocs, committed_current,
-                     obs=None):
+                     obs=None, store=None):
     """Write a markdown delta table (for a CI job summary)."""
     lines = [
         "### Benchmark smoke: this run vs committed BENCH_sim.json",
@@ -117,6 +125,15 @@ def write_summary_md(path, benches, allocs, committed_current,
                      if "vs_off_pct" in record else "reference")
             lines.append("| %s | %.3f %s | %s |" % (
                 name, record["current"], record["unit"], delta))
+    if store:
+        lines += [
+            "",
+            "| Run store | This run |",
+            "|---|---:|",
+        ]
+        for name, record in store.items():
+            lines.append("| %s | %.3f %s |" % (
+                name, record["current"], record["unit"]))
     if allocs:
         lines += [
             "",
@@ -193,6 +210,19 @@ def report(args):
             if entry is not None and counter in entry:
                 allocs[name] = {counter: round(entry[counter], 6)}
 
+    store = {}
+    store_binary = os.path.join(args.build_dir, "bench",
+                                "bench_perf_store")
+    if os.path.exists(store_binary):
+        pattern = "|".join("^%s$" % name for name in STORE_BENCHMARKS)
+        store_entries = run_benchmark_json(store_binary, pattern,
+                                           args.min_time,
+                                           args.repetitions)
+        for name in STORE_BENCHMARKS:
+            cpu, unit = best_cpu_time(store_entries, name,
+                                      args.repetitions)
+            store[name] = {"current": round(cpu, 3), "unit": unit}
+
     obs = {}
     obs_binary = os.path.join(args.build_dir, "bench",
                               "bench_obs_overhead")
@@ -226,10 +256,11 @@ def report(args):
         "benchmarks": benches,
         "allocations": allocs,
         "obs_overhead": obs,
+        "store": store,
     }
     if args.summary_md:
         write_summary_md(args.summary_md, benches, allocs,
-                         committed_current, obs)
+                         committed_current, obs, store)
 
     with open(args.out, "w") as f:
         json.dump(out, f, indent=2, sort_keys=True)
@@ -245,6 +276,9 @@ def report(args):
                  if "vs_off_pct" in record else "")
         print("  %-28s %10.3f %s%s" %
               (name, record["current"], record["unit"], delta))
+    for name, record in store.items():
+        print("  %-28s %10.3f %s" %
+              (name, record["current"], record["unit"]))
     for name, counters in allocs.items():
         for counter, value in counters.items():
             print("  %-28s %10.6f %s" % (name, value, counter))

@@ -67,10 +67,49 @@ struct CapacityResult {
 };
 
 /**
+ * Validate a capacity search configuration up front, naming the
+ * offending field: tau must lie in (0, 1), sloUs must be positive,
+ * 0 < utilizationLow < utilizationHigh < 1, and runsPerPoint /
+ * maxIterations must be nonzero. Shared by planCapacity() and the
+ * drive layer's closed-loop controller so both reject degenerate
+ * searches identically.
+ *
+ * @throws ConfigError naming the invalid field.
+ */
+void validateCapacityParams(const CapacityParams &params);
+
+/**
  * Bisect for the highest utilization whose tau-quantile latency meets
  * the SLO under the given configuration.
  */
 CapacityResult planCapacity(const CapacityParams &params);
+
+/** How a probe point's confidence interval relates to an SLO bound. */
+enum class SloVerdict {
+    Clears,    ///< CI entirely at or below the bound.
+    Violates,  ///< CI entirely above the bound.
+    Uncertain, ///< CI straddles the bound (or too few runs).
+};
+
+/** CI-aware comparison of one probe point against an SLO. */
+struct SloComparison {
+    double mean = 0.0;
+    double ciLowUs = 0.0;  ///< Lower confidence bound on the mean.
+    double ciHighUs = 0.0; ///< Upper confidence bound on the mean.
+    std::size_t runs = 0;
+    SloVerdict verdict = SloVerdict::Uncertain;
+};
+
+/**
+ * Compare per-run tau-quantile measurements against an SLO bound with
+ * a two-sided Student-t confidence interval on their mean. With fewer
+ * than two runs the verdict is always Uncertain (no spread estimate).
+ * This is the probe-narrowing criterion of the closed-loop capacity
+ * controller: only a clean Clears/Violates lets the search move its
+ * bracket without re-probing.
+ */
+SloComparison compareToSlo(const std::vector<double> &perRunQuantileUs,
+                           double sloUs, double confidence = 0.95);
 
 } // namespace analysis
 } // namespace treadmill

@@ -1,0 +1,124 @@
+#include "analysis/refit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/span.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace analysis {
+
+StoredObservations
+loadObservations(const store::StudyReader &study,
+                 const std::vector<double> &quantiles)
+{
+    const store::StudyMeta &meta = study.meta();
+    StoredObservations out{
+        regress::FactorialDesign(meta.factors), {}, {}, {}};
+    out.levels.reserve(
+        static_cast<std::size_t>(study.runCount()));
+
+    for (std::uint64_t seq = 0; seq < study.runCount(); ++seq) {
+        const store::RunReader run = study.openRun(seq);
+        out.levels.push_back(
+            run.doubles(store::ColumnId::FactorLevels).toVector());
+        out.seeds.push_back(
+            run.u64s(store::ColumnId::Seed)[0]);
+
+        const auto taus = run.doubles(store::ColumnId::QuantileTaus);
+        const auto values =
+            run.doubles(store::ColumnId::QuantileValues);
+        std::vector<double> sortedReservoir;
+        for (double tau : quantiles) {
+            // Prefer the snapshotted value: it is the exact double the
+            // live pipeline fitted, so refits reproduce coefficients
+            // bit-identically.
+            bool snapshotted = false;
+            for (std::size_t i = 0; i < taus.size(); ++i) {
+                if (taus[i] == tau) {
+                    out.responses[tau].push_back(values[i]);
+                    snapshotted = true;
+                    break;
+                }
+            }
+            if (snapshotted)
+                continue;
+            if (sortedReservoir.empty()) {
+                sortedReservoir =
+                    run.doubles(store::ColumnId::Reservoir)
+                        .toVector();
+                if (sortedReservoir.empty())
+                    throw ConfigError(strprintf(
+                        "run %llu snapshots no tau %g and has an "
+                        "empty reservoir",
+                        static_cast<unsigned long long>(seq), tau));
+                std::sort(sortedReservoir.begin(),
+                          sortedReservoir.end());
+            }
+            out.responses[tau].push_back(
+                stats::quantileSorted(sortedReservoir, tau));
+        }
+    }
+    return out;
+}
+
+std::vector<QuantileModel>
+refitFromStore(const store::StudyReader &study,
+               const FactorialFitParams &params)
+{
+    const StoredObservations data =
+        loadObservations(study, params.quantiles);
+    return fitFactorialModels(data.design, data.levels, data.responses,
+                              params);
+}
+
+std::map<double, std::vector<StoredProvenanceRank>>
+provenanceRankFromStore(const store::StudyReader &study)
+{
+    // (tau, kind) -> accumulated mean/share and contributing runs.
+    std::map<double, std::map<std::uint64_t, StoredProvenanceRank>>
+        acc;
+    for (std::uint64_t seq = 0; seq < study.runCount(); ++seq) {
+        const store::RunReader run = study.openRun(seq);
+        if (!run.has(store::ColumnId::ProvenanceTaus))
+            continue;
+        const store::RunRecord rec = run.record();
+        for (const store::ProvenanceRow &row : rec.provenance) {
+            StoredProvenanceRank &rank = acc[row.tau][row.kind];
+            rank.kind = row.kind;
+            rank.meanUs += row.meanUs;
+            rank.share += row.share;
+            ++rank.runs;
+        }
+    }
+
+    const std::vector<std::string> &names = obs::segmentKindNames();
+    std::map<double, std::vector<StoredProvenanceRank>> out;
+    for (auto &[tau, kinds] : acc) {
+        std::vector<StoredProvenanceRank> ranked;
+        ranked.reserve(kinds.size());
+        for (auto &[kind, rank] : kinds) {
+            rank.meanUs /= static_cast<double>(rank.runs);
+            rank.share /= static_cast<double>(rank.runs);
+            rank.name = kind < names.size()
+                            ? names[static_cast<std::size_t>(kind)]
+                            : strprintf("segment-%llu",
+                                        static_cast<unsigned long long>(
+                                            kind));
+            ranked.push_back(rank);
+        }
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const StoredProvenanceRank &a,
+                            const StoredProvenanceRank &b) {
+                             return a.share > b.share;
+                         });
+        out[tau] = std::move(ranked);
+    }
+    return out;
+}
+
+} // namespace analysis
+} // namespace treadmill

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Re-analysis straight from the run store -- no simulation.
+ *
+ * Every entry point here consumes a store::StudyReader and produces
+ * the same artifacts the live pipeline produces, bit-identically:
+ * refitFromStore() re-fits the factorial quantile-regression models
+ * from the archived responses (or, for taus the archive did not
+ * snapshot, from the archived latency reservoirs), and
+ * provenanceRankFromStore() re-ranks tail-provenance segment shares
+ * from the archived per-run rows. "Tell-Tale Tail Latencies"
+ * (PAPERS.md) is the motivation: conclusions should be re-examinable
+ * from the raw persisted samples, not trusted to one summary pass.
+ */
+
+#ifndef TREADMILL_ANALYSIS_REFIT_H_
+#define TREADMILL_ANALYSIS_REFIT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/attribution.h"
+#include "store/reader.h"
+
+namespace treadmill {
+namespace analysis {
+
+/** The archive's factorial data set, materialized for fitting. */
+struct StoredObservations {
+    regress::FactorialDesign design;
+    std::vector<std::vector<double>> levels;
+    /** tau -> one response per run, in run-sequence order. */
+    std::map<double, std::vector<double>> responses;
+    std::vector<std::uint64_t> seeds;
+};
+
+/**
+ * Load every run's factor levels and responses for @p quantiles.
+ * Taus the archive snapshotted are read back exactly (bit-identical
+ * doubles); other taus are computed from the archived reservoir.
+ *
+ * @throws store errors on unreadable runs; ConfigError when a
+ *         requested tau is neither snapshotted nor computable.
+ */
+StoredObservations loadObservations(
+    const store::StudyReader &study,
+    const std::vector<double> &quantiles);
+
+/**
+ * Re-fit the factorial quantile-regression models from the archive.
+ * Given the same FactorialFitParams that produced a live fit, the
+ * coefficients are bit-identical to that fit -- the acceptance bar
+ * for refit-from-archive.
+ */
+std::vector<QuantileModel> refitFromStore(
+    const store::StudyReader &study,
+    const FactorialFitParams &params);
+
+/** One re-ranked provenance segment. */
+struct StoredProvenanceRank {
+    std::uint64_t kind = 0; ///< obs::SegmentKind as stored.
+    std::string name;       ///< Human-readable segment name.
+    double meanUs = 0.0;    ///< Mean over contributing runs.
+    double share = 0.0;     ///< Mean share over contributing runs.
+    std::size_t runs = 0;   ///< Runs carrying this segment.
+};
+
+/**
+ * Aggregate the archived tail-provenance rows across runs and re-rank
+ * segments (largest mean share first) per tau. Runs without
+ * provenance columns are skipped; the result is empty when no run
+ * carried them.
+ */
+std::map<double, std::vector<StoredProvenanceRank>>
+provenanceRankFromStore(const store::StudyReader &study);
+
+} // namespace analysis
+} // namespace treadmill
+
+#endif // TREADMILL_ANALYSIS_REFIT_H_

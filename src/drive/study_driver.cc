@@ -1,0 +1,204 @@
+#include "drive/study_driver.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "analysis/provenance.h"
+#include "exec/parallel_for.h"
+#include "regress/design.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace treadmill {
+namespace drive {
+
+namespace {
+
+/** One completed run handed from the simulation thread to the fitter. */
+struct Completion {
+    std::size_t index = 0;
+    /** tau -> snapshotted response (the exact archived doubles). */
+    std::map<double, double> quantileUs;
+};
+
+} // namespace
+
+StudyDriver::StudyDriver(StudyDriverParams params)
+    : controls(std::move(params))
+{
+    if (controls.factors.empty())
+        throw ConfigError("study driver: factors must be nonempty");
+    if (controls.fit.quantiles.empty())
+        throw ConfigError(
+            "study driver: fit.quantiles must be nonempty");
+    for (double tau : controls.fit.quantiles) {
+        if (!(tau > 0.0) || !(tau < 1.0))
+            throw ConfigError(strprintf(
+                "study driver: quantile must lie in (0, 1), got %g",
+                tau));
+    }
+    if (controls.reservoirCapacity == 0)
+        throw ConfigError(
+            "study driver: reservoirCapacity must be nonzero");
+}
+
+StudyOutcome
+StudyDriver::run(const std::vector<StudyRun> &plan,
+                 store::StudyWriter *archive)
+{
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (plan[i].levels.size() != controls.factors.size())
+            throw ConfigError(strprintf(
+                "study driver: plan entry %zu carries %zu levels for "
+                "%zu factors",
+                i, plan[i].levels.size(), controls.factors.size()));
+    }
+
+    std::vector<double> taus = controls.fit.quantiles;
+    std::sort(taus.begin(), taus.end());
+    taus.erase(std::unique(taus.begin(), taus.end()), taus.end());
+
+    core::RunRecordOptions record;
+    record.quantiles = taus;
+    record.reservoirCapacity = controls.reservoirCapacity;
+    record.aggregation = controls.aggregation;
+
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<Completion> queue;
+    bool producerDone = false;
+    std::exception_ptr failure;
+
+    // Producer: simulate + persist on the pool; the caller's thread
+    // stays free to fit. parallelFor stops remaining indices on the
+    // first exception and rethrows it here.
+    std::thread producer([&] {
+        try {
+            exec::parallelFor(
+                controls.parallelism, plan.size(), [&](std::size_t i) {
+                    const core::ExperimentResult result =
+                        core::runExperiment(plan[i].params);
+                    store::RunRecord rec = core::toRunRecord(
+                        plan[i].params, result, plan[i].levels,
+                        record);
+                    if (controls.attachProvenance &&
+                        !result.spans.empty()) {
+                        const analysis::ProvenanceReport report =
+                            analysis::tailProvenance(
+                                result.spans,
+                                controls.provenanceQuantiles);
+                        for (const analysis::QuantileProvenance &qp :
+                             report.quantiles)
+                            for (const analysis::SegmentContribution
+                                     &seg : qp.segments)
+                                rec.provenance.push_back(
+                                    {qp.tau,
+                                     static_cast<std::uint64_t>(
+                                         seg.kind),
+                                     seg.meanUs, seg.share});
+                    }
+                    if (archive != nullptr)
+                        archive->writeRun(i, rec);
+
+                    Completion done;
+                    done.index = i;
+                    for (std::size_t t = 0;
+                         t < rec.quantileTaus.size(); ++t)
+                        done.quantileUs[rec.quantileTaus[t]] =
+                            rec.quantileUs[t];
+                    {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        queue.push_back(std::move(done));
+                    }
+                    ready.notify_one();
+                });
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            failure = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            producerDone = true;
+        }
+        ready.notify_one();
+    });
+
+    // Consumer: drain completions, refitting while runs are still in
+    // flight. Incremental models are progress signals and discarded;
+    // only the final plan-order fit is returned.
+    StudyOutcome out;
+    const regress::FactorialDesign design(controls.factors);
+    std::vector<std::map<double, double>> perRun(plan.size());
+    std::vector<bool> have(plan.size(), false);
+    std::size_t completed = 0;
+    unsigned sinceFit = 0;
+    const std::size_t cells = std::size_t{1} << controls.factors.size();
+
+    const auto gather = [&](std::size_t upTo) {
+        std::vector<std::vector<double>> levels;
+        std::map<double, std::vector<double>> responses;
+        for (std::size_t i = 0; i < upTo; ++i) {
+            if (!have[i])
+                continue;
+            levels.push_back(plan[i].levels);
+            for (const auto &[tau, value] : perRun[i])
+                responses[tau].push_back(value);
+        }
+        return std::make_pair(std::move(levels), std::move(responses));
+    };
+
+    while (true) {
+        Completion done;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            ready.wait(lock, [&] {
+                return !queue.empty() || producerDone;
+            });
+            if (queue.empty())
+                break;
+            done = std::move(queue.front());
+            queue.pop_front();
+        }
+        perRun[done.index] = std::move(done.quantileUs);
+        have[done.index] = true;
+        ++completed;
+        ++sinceFit;
+
+        const bool inFlight = completed < plan.size();
+        if (controls.refitEvery != 0 && inFlight &&
+            sinceFit >= controls.refitEvery && completed >= cells) {
+            auto [levels, responses] = gather(plan.size());
+            try {
+                analysis::fitFactorialModels(design, levels,
+                                             responses, controls.fit);
+                ++out.refitsOverlapped;
+            } catch (const Error &) {
+                // A partial data set can be rank-deficient; the next
+                // completion retries, and the final fit always runs.
+            }
+            sinceFit = 0;
+        }
+    }
+    producer.join();
+    if (failure)
+        std::rethrow_exception(failure);
+
+    // Final fit over all runs in plan order -- bit-identical to
+    // analysis::refitFromStore on the archive this call wrote.
+    auto [levels, responses] = gather(plan.size());
+    out.levels = std::move(levels);
+    out.responses = std::move(responses);
+    out.runs = plan.size();
+    out.models = analysis::fitFactorialModels(design, out.levels,
+                                              out.responses,
+                                              controls.fit);
+    return out;
+}
+
+} // namespace drive
+} // namespace treadmill

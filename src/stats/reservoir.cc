@@ -1,5 +1,7 @@
 #include "stats/reservoir.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace treadmill {
@@ -11,6 +13,85 @@ ReservoirSampler::ReservoirSampler(std::size_t capacity, const Rng &rng_)
     if (capacity == 0)
         throw ConfigError("reservoir capacity must be positive");
     reservoir.reserve(capacity);
+}
+
+ReservoirSampler
+ReservoirSampler::restored(std::size_t capacity, const Rng &rng_,
+                           std::vector<double> samples,
+                           std::uint64_t seen)
+{
+    ReservoirSampler sampler(capacity, rng_);
+    if (samples.size() > capacity)
+        throw ConfigError("restored reservoir holds more samples than "
+                          "its capacity");
+    if (seen < samples.size())
+        throw ConfigError("restored reservoir claims fewer "
+                          "observations than retained samples");
+    if (seen > samples.size() && samples.size() < capacity)
+        throw ConfigError("restored reservoir dropped observations "
+                          "without being full");
+    sampler.reservoir = std::move(samples);
+    sampler.offered = seen;
+    return sampler;
+}
+
+void
+ReservoirSampler::merge(const ReservoirSampler &other)
+{
+    if (other.offered == 0)
+        return;
+
+    // Work on copies of both retained sets; rebuild `reservoir`.
+    std::vector<double> mine;
+    mine.swap(reservoir);
+    std::vector<double> theirs = other.reservoir;
+    const std::uint64_t total = offered + other.offered;
+
+    if (mine.size() + theirs.size() <= cap && offered == mine.size() &&
+        other.offered == theirs.size()) {
+        // Neither side ever dropped a sample and the union fits: the
+        // concatenation *is* the union stream.
+        reservoir = std::move(mine);
+        reservoir.insert(reservoir.end(), theirs.begin(),
+                         theirs.end());
+        offered = total;
+        return;
+    }
+
+    // Sequential without-replacement allocation at stream level: each
+    // output slot draws side A with probability remainingA / remaining,
+    // which makes the per-side counts exactly hypergeometric -- the
+    // distribution of a uniform size-k subset of the union stream.
+    // Within a side, retained items are uniform for its stream, so
+    // picking uniformly without replacement yields uniform union
+    // membership.
+    const std::size_t target =
+        static_cast<std::size_t>(std::min<std::uint64_t>(cap, total));
+    reservoir.reserve(target);
+    std::uint64_t remainingMine = offered;
+    std::uint64_t remainingTheirs = other.offered;
+    while (reservoir.size() < target) {
+        bool fromMine;
+        if (mine.empty() && theirs.empty())
+            break; // donor overflowed with a smaller capacity
+        if (mine.empty())
+            fromMine = false;
+        else if (theirs.empty())
+            fromMine = true;
+        else
+            fromMine = rng.nextBelow(remainingMine + remainingTheirs) <
+                       remainingMine;
+        std::vector<double> &src = fromMine ? mine : theirs;
+        std::uint64_t &remaining =
+            fromMine ? remainingMine : remainingTheirs;
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.nextBelow(src.size()));
+        reservoir.push_back(src[pick]);
+        src[pick] = src.back();
+        src.pop_back();
+        --remaining;
+    }
+    offered = total;
 }
 
 void

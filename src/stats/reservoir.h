@@ -29,8 +29,39 @@ class ReservoirSampler
      */
     ReservoirSampler(std::size_t capacity, const Rng &rng);
 
+    /**
+     * Rebuild a sampler from persisted state (the run store's
+     * reservoir columns): @p samples were retained out of a stream of
+     * @p seen observations. Further add() and merge() calls behave
+     * exactly as if the original sampler had kept running.
+     *
+     * @throws ConfigError when samples exceed capacity, or when
+     *         seen < samples (a reservoir cannot retain more than it
+     *         was offered).
+     */
+    static ReservoirSampler restored(std::size_t capacity,
+                                     const Rng &rng,
+                                     std::vector<double> samples,
+                                     std::uint64_t seen);
+
     /** Offer one observation to the reservoir. */
     void add(double x);
+
+    /**
+     * Fold @p other into this sampler so the result is a uniform
+     * sample of the union stream, weighting draws by each side's
+     * seen() count (hypergeometric allocation: the number of retained
+     * items taken from each side follows the exact distribution of a
+     * uniform subset of the merged stream).
+     *
+     * Exact when each side's retained samples are a uniform sample of
+     * its own stream and @p other either fits entirely or has
+     * capacity >= this->capacity(); with a smaller, overflowed donor
+     * the draw is clamped to the donor's retained samples (slight
+     * deficit of donor items, the best any merge can do from what was
+     * kept).
+     */
+    void merge(const ReservoirSampler &other);
 
     /** Total observations offered so far. */
     std::uint64_t seen() const { return offered; }

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Typed failures of the run store.
+ *
+ * Every way an archive can be unreadable maps to a distinct exception
+ * type so callers (and the corruption test suite) can tell *how* a
+ * file is bad, not just that it is: a half-written file is not a
+ * stale-schema file is not a flipped bit. All derive from StoreError,
+ * which derives from treadmill::Error, so generic handlers still work.
+ */
+
+#ifndef TREADMILL_STORE_ERRORS_H_
+#define TREADMILL_STORE_ERRORS_H_
+
+#include <string>
+
+#include "util/error.h"
+
+namespace treadmill {
+namespace store {
+
+/** Base of every archive failure. */
+class StoreError : public Error
+{
+  public:
+    explicit StoreError(const std::string &what) : Error(what) {}
+};
+
+/** Structural violation: bad magic, misaligned or overlapping
+ *  columns, non-ascending ids, missing required column. */
+class FormatError : public StoreError
+{
+  public:
+    explicit FormatError(const std::string &what) : StoreError(what) {}
+};
+
+/** The file ends before its declared contents do (torn write,
+ *  truncated copy, or an orphaned partial-write temp file). */
+class TruncatedError : public StoreError
+{
+  public:
+    explicit TruncatedError(const std::string &what) : StoreError(what)
+    {
+    }
+};
+
+/** A CRC-32 over the descriptor table or a column payload does not
+ *  match the stored value (bit rot, in-place corruption). */
+class ChecksumError : public StoreError
+{
+  public:
+    explicit ChecksumError(const std::string &what) : StoreError(what)
+    {
+    }
+};
+
+/** The file's schema version (or manifest schema tag) is not one this
+ *  build reads. */
+class VersionError : public StoreError
+{
+  public:
+    explicit VersionError(const std::string &what) : StoreError(what) {}
+};
+
+} // namespace store
+} // namespace treadmill
+
+#endif // TREADMILL_STORE_ERRORS_H_

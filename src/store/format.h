@@ -1,0 +1,133 @@
+/**
+ * @file
+ * On-disk layout of the run store (schema "tmstore/1").
+ *
+ * A *study* is one directory:
+ *
+ *     <study>/
+ *       MANIFEST.json        study metadata (schema, factors, digest)
+ *       runs/run-000000.tmr  one columnar record file per run
+ *       runs/run-000001.tmr  ...
+ *
+ * Each .tmr file is column-oriented and fully self-describing:
+ *
+ *     +--------------------+  FileHeader (24 bytes)
+ *     | magic   "TMR1"     |
+ *     | version u32        |
+ *     | columnCount u32    |
+ *     | reserved u32       |
+ *     | runSeq  u64        |
+ *     +--------------------+  ColumnDesc[columnCount] (32 bytes each)
+ *     | id encoding        |
+ *     | offset count       |
+ *     | crc32  reserved    |
+ *     +--------------------+  tableCrc u32 + pad u32
+ *     | column payloads    |  8-byte aligned, little-endian,
+ *     | ...                |  each guarded by its ColumnDesc crc32
+ *     +--------------------+
+ *
+ * Invariants the reader enforces (each violation is a typed error,
+ * see errors.h):
+ *  - magic and version match (VersionError otherwise);
+ *  - header, table, and every declared column lie inside the file
+ *    (TruncatedError);
+ *  - the descriptor-table CRC and every column CRC verify
+ *    (ChecksumError);
+ *  - numeric column offsets are 8-byte aligned and ids are unique
+ *    and ascending (FormatError).
+ *
+ * Writers emit columns in ascending ColumnId order with no gaps or
+ * padding bytes left uninitialized, so a record file's bytes are a
+ * pure function of the RunRecord it stores: identical (params, seed)
+ * produce byte-identical archives, and the determinism suite can
+ * extend to on-disk artifacts.
+ */
+
+#ifndef TREADMILL_STORE_FORMAT_H_
+#define TREADMILL_STORE_FORMAT_H_
+
+#include <cstdint>
+
+namespace treadmill {
+namespace store {
+
+/** File magic: "TMR1" little-endian. */
+constexpr std::uint32_t kRunMagic = 0x31524D54u;
+
+/** Current schema version of run record files. */
+constexpr std::uint32_t kRunVersion = 1;
+
+/** Manifest schema tag. */
+constexpr const char *kManifestSchema = "tmstore/1";
+
+/** Payload encodings. */
+enum class Encoding : std::uint32_t {
+    F64 = 0,   ///< IEEE-754 doubles, count = element count.
+    U64 = 1,   ///< Unsigned 64-bit integers, count = element count.
+    Bytes = 2, ///< Raw bytes (UTF-8 for text), count = byte count.
+};
+
+/**
+ * Column identifiers. Values are part of the on-disk format: never
+ * renumber, only append. Optional columns are simply absent.
+ */
+enum class ColumnId : std::uint32_t {
+    Seed = 1,              ///< u64[1] run seed.
+    FactorLevels = 2,      ///< f64[k] levels in manifest factor order.
+    QuantileTaus = 3,      ///< f64[q] taus of the snapshots, ascending.
+    QuantileValues = 4,    ///< f64[q] aggregated quantile, microseconds.
+    Reservoir = 5,         ///< f64[m] merged latency reservoir.
+    ReservoirSeen = 6,     ///< u64[1] stream length it represents.
+    ReservoirCapacity = 7, ///< u64[1] reservoir capacity.
+    Scalars = 8,           ///< f64[4] target RPS, achieved RPS,
+                           ///<        server utilization, sim seconds.
+    ConfigDigest = 9,      ///< u64[1] fnv1a64 of the canonical config.
+    MetricsJson = 10,      ///< bytes: compact metrics snapshot JSON.
+    ProvenanceTaus = 11,   ///< f64[p] tau of each provenance row.
+    ProvenanceKinds = 12,  ///< u64[p] obs::SegmentKind of each row.
+    ProvenanceMeans = 13,  ///< f64[p] segment mean in the band, us.
+    ProvenanceShares = 14, ///< f64[p] share of the band's end-to-end.
+};
+
+/** Number of doubles in the Scalars column. */
+constexpr std::uint64_t kScalarCount = 4;
+
+/** Fixed-size file header (immediately at offset 0). */
+struct FileHeader {
+    std::uint32_t magic = kRunMagic;
+    std::uint32_t version = kRunVersion;
+    std::uint32_t columnCount = 0;
+    std::uint32_t reserved = 0;
+    std::uint64_t runSeq = 0;
+};
+static_assert(sizeof(FileHeader) == 24, "on-disk header layout");
+
+/** Fixed-size per-column descriptor. */
+struct ColumnDesc {
+    std::uint32_t id = 0;
+    std::uint32_t encoding = 0;
+    std::uint64_t offset = 0; ///< Absolute file offset of the payload.
+    std::uint64_t count = 0;  ///< Elements (bytes for Encoding::Bytes).
+    std::uint32_t crc = 0;    ///< CRC-32 of the payload bytes.
+    std::uint32_t reserved = 0;
+};
+static_assert(sizeof(ColumnDesc) == 32, "on-disk descriptor layout");
+
+/** Payload byte size of one column. */
+constexpr std::uint64_t
+payloadBytes(Encoding encoding, std::uint64_t count)
+{
+    return encoding == Encoding::Bytes ? count : count * 8;
+}
+
+/** Run file name for sequence number @p seq ("run-000007.tmr"). */
+inline constexpr const char *kRunDirName = "runs";
+inline constexpr const char *kRunSuffix = ".tmr";
+inline constexpr const char *kTmpSuffix = ".tmp";
+inline constexpr const char *kManifestName = "MANIFEST.json";
+inline constexpr const char *kModelsName = "models.json";
+
+} // namespace store
+} // namespace treadmill
+
+#endif // TREADMILL_STORE_FORMAT_H_

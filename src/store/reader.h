@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Zero-copy readers over a study archive.
+ *
+ * RunReader loads one record file into a single 8-byte-aligned buffer,
+ * validates the header, descriptor table, and every column CRC once,
+ * and then hands out ColumnView spans that point straight into that
+ * buffer -- refitting a study touches each byte exactly once (the
+ * initial read) no matter how many passes the analysis makes.
+ *
+ * StudyReader binds the manifest to its run files and adds verify():
+ * a full-archive integrity sweep that reports every problem it finds
+ * (orphaned partial writes, missing sequence numbers, truncation, CRC
+ * and version failures, factor-shape mismatches) instead of stopping
+ * at the first.
+ */
+
+#ifndef TREADMILL_STORE_READER_H_
+#define TREADMILL_STORE_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "store/record.h"
+
+namespace treadmill {
+namespace store {
+
+/** A borrowed, typed view of one column's payload. Valid only while
+ *  the RunReader that produced it is alive. */
+template <typename T> struct ColumnView {
+    const T *data = nullptr;
+    std::size_t count = 0;
+
+    const T *begin() const { return data; }
+    const T *end() const { return data + count; }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    const T &operator[](std::size_t i) const { return data[i]; }
+
+    std::vector<T>
+    toVector() const
+    {
+        return std::vector<T>(data, data + count);
+    }
+};
+
+class RunReader
+{
+  public:
+    /**
+     * Load and validate the record file at @p path.
+     *
+     * @throws VersionError  schema version mismatch.
+     * @throws FormatError   bad magic or structural violations.
+     * @throws TruncatedError file shorter than its declared contents.
+     * @throws ChecksumError  table or column CRC mismatch.
+     */
+    explicit RunReader(const std::string &path);
+
+    /** Sequence number stamped in the header. */
+    std::uint64_t runSeq() const { return seq; }
+
+    /** True when the record carries column @p id. */
+    bool has(ColumnId id) const;
+
+    /** @name Zero-copy column access (throws FormatError when the
+     *  column is absent or has a different encoding)
+     * @{
+     */
+    ColumnView<double> doubles(ColumnId id) const;
+    ColumnView<std::uint64_t> u64s(ColumnId id) const;
+    /** Byte columns, returned as a string view into the buffer. */
+    const char *bytesData(ColumnId id, std::size_t &size) const;
+    /** @} */
+
+    /** Materialize the full record (copies out of the buffer). */
+    RunRecord record() const;
+
+    /** Path this reader loaded. */
+    const std::string &path() const { return file; }
+
+  private:
+    const ColumnDesc &find(ColumnId id, Encoding encoding) const;
+
+    std::string file;
+    std::vector<std::uint64_t> buffer; ///< 8-aligned file image.
+    std::vector<ColumnDesc> columns;
+    std::uint64_t seq = 0;
+};
+
+/** One problem found by StudyReader::verify(). */
+struct VerifyProblem {
+    std::string file;  ///< Offending path (or the study dir).
+    std::string kind;  ///< Error class name ("ChecksumError", ...).
+    std::string detail;
+};
+
+class StudyReader
+{
+  public:
+    /**
+     * Open the study at @p directory and parse its manifest.
+     *
+     * @throws FormatError  missing or malformed manifest.
+     * @throws VersionError unknown manifest schema tag.
+     */
+    explicit StudyReader(const std::string &directory);
+
+    const StudyMeta &meta() const { return studyMeta; }
+
+    /** Runs the manifest declares. */
+    std::uint64_t runCount() const { return studyMeta.runCount; }
+
+    /** Path of run @p seq's record file. */
+    std::string runPath(std::uint64_t seq) const;
+
+    /** Open run @p seq (throws the RunReader's typed errors; throws
+     *  TruncatedError when the file is missing entirely -- the
+     *  signature of an interrupted write). */
+    RunReader openRun(std::uint64_t seq) const;
+
+    /**
+     * Sweep the whole archive and report every integrity problem:
+     * unreadable runs (with their typed error), missing sequence
+     * numbers, orphaned ".tmp" partial writes, factor-count and
+     * digest mismatches against the manifest. Empty result == clean.
+     */
+    std::vector<VerifyProblem> verify() const;
+
+    /** Study directory. */
+    const std::string &directory() const { return dir; }
+
+  private:
+    std::string dir;
+    StudyMeta studyMeta;
+};
+
+} // namespace store
+} // namespace treadmill
+
+#endif // TREADMILL_STORE_READER_H_

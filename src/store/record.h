@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The in-memory shape of one archived run and of a study's metadata.
+ *
+ * RunRecord is deliberately plain data -- no simulator types -- so the
+ * store can sit below core in the layering DAG: core converts an
+ * ExperimentResult into a RunRecord (core/run_record.h), the store
+ * persists and re-reads it, and analysis refits from it without ever
+ * touching a Simulation.
+ */
+
+#ifndef TREADMILL_STORE_RECORD_H_
+#define TREADMILL_STORE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treadmill {
+namespace store {
+
+/** One tail-provenance row: segment @p kind's contribution within the
+ *  @p tau band (see analysis::tailProvenance). Kinds are stored as raw
+ *  integers so the store does not depend on obs. */
+struct ProvenanceRow {
+    double tau = 0.0;
+    std::uint64_t kind = 0; ///< obs::SegmentKind as an integer.
+    double meanUs = 0.0;
+    double share = 0.0;
+};
+
+/** Everything one run contributes to the archive. */
+struct RunRecord {
+    std::uint64_t seed = 0;
+    /** 64-bit digest of the run's configuration (seed excluded). */
+    std::uint64_t configDigest = 0;
+    /** Factor levels in the study's canonical factor order. */
+    std::vector<double> factorLevels;
+    /** Aggregated quantile snapshots: taus (ascending) and values. */
+    std::vector<double> quantileTaus;
+    std::vector<double> quantileUs;
+    /** Merged latency reservoir (uniform sub-sample of the run). */
+    std::vector<double> reservoir;
+    std::uint64_t reservoirSeen = 0;
+    std::uint64_t reservoirCapacity = 0;
+    /** Scalar metric snapshot. */
+    double targetRps = 0.0;
+    double achievedRps = 0.0;
+    double serverUtilization = 0.0;
+    double simulatedSeconds = 0.0;
+    /** Compact JSON dump of the run's metrics registry. */
+    std::string metricsJson;
+    /** Optional tail-provenance segment shares (empty when the run
+     *  had no span tracing). */
+    std::vector<ProvenanceRow> provenance;
+};
+
+/** Study-level metadata, persisted as MANIFEST.json. */
+struct StudyMeta {
+    std::string name;
+    /** Factor names matching every record's factorLevels order. */
+    std::vector<std::string> factors;
+    /** Taus every record snapshots (ascending). */
+    std::vector<double> quantiles;
+    /** Digest of the study's base configuration. */
+    std::uint64_t configDigest = 0;
+    /** Runs the study contains (finalized by StudyWriter::finish). */
+    std::uint64_t runCount = 0;
+};
+
+} // namespace store
+} // namespace treadmill
+
+#endif // TREADMILL_STORE_RECORD_H_

@@ -1,0 +1,67 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace treadmill {
+
+namespace {
+
+/** The reflected CRC-32 table, built once at static-init time. */
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t seed, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto &table = crcTable();
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    return crc32Update(0, data, size);
+}
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    return fnv1a64(text.data(), text.size());
+}
+
+} // namespace treadmill

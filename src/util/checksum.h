@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Checksums and stable content hashes.
+ *
+ * crc32() guards the run store's on-disk columns against bit rot and
+ * truncation (every column payload carries its own CRC); fnv1a64()
+ * produces the stable 64-bit configuration digests the store records
+ * so a refit can prove it is reading runs of the experiment it thinks
+ * it is. Both are fully deterministic and platform-independent: no
+ * hardware instructions, no seeding, byte-order-free definitions.
+ */
+
+#ifndef TREADMILL_UTIL_CHECKSUM_H_
+#define TREADMILL_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace treadmill {
+
+/**
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of @p size
+ * bytes at @p data. Matches zlib's crc32() for the same input.
+ */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** Incremental form: fold @p size bytes into running CRC @p seed. */
+std::uint32_t crc32Update(std::uint32_t seed, const void *data,
+                          std::size_t size);
+
+/** FNV-1a 64-bit hash of a byte range. */
+std::uint64_t fnv1a64(const void *data, std::size_t size);
+
+/** FNV-1a 64-bit hash of a string. */
+std::uint64_t fnv1a64(const std::string &text);
+
+} // namespace treadmill
+
+#endif // TREADMILL_UTIL_CHECKSUM_H_

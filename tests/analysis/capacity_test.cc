@@ -79,6 +79,47 @@ TEST(CapacityTest, ProbeLatencyIncreasesWithUtilization)
     EXPECT_LT(result.probes[0].latencyUs, result.probes[1].latencyUs);
 }
 
+TEST(CompareToSloTest, TooFewRunsIsAlwaysUncertain)
+{
+    EXPECT_EQ(compareToSlo({}, 100.0).verdict, SloVerdict::Uncertain);
+    EXPECT_EQ(compareToSlo({50.0}, 100.0).verdict,
+              SloVerdict::Uncertain);
+}
+
+TEST(CompareToSloTest, TightSamplesResolveCleanly)
+{
+    // Low-variance samples far from the bound give a decisive CI.
+    const std::vector<double> fast = {99.0, 100.0, 101.0};
+    const SloComparison clears = compareToSlo(fast, 1000.0);
+    EXPECT_EQ(clears.verdict, SloVerdict::Clears);
+    EXPECT_EQ(clears.runs, 3u);
+    EXPECT_NEAR(clears.mean, 100.0, 1e-9);
+    EXPECT_LT(clears.ciHighUs, 1000.0);
+
+    const SloComparison violates = compareToSlo(fast, 10.0);
+    EXPECT_EQ(violates.verdict, SloVerdict::Violates);
+    EXPECT_GT(violates.ciLowUs, 10.0);
+}
+
+TEST(CompareToSloTest, StraddlingIntervalStaysUncertain)
+{
+    // Spread across the bound: the CI must contain it.
+    const std::vector<double> noisy = {60.0, 140.0};
+    const SloComparison c = compareToSlo(noisy, 100.0);
+    EXPECT_EQ(c.verdict, SloVerdict::Uncertain);
+    EXPECT_LE(c.ciLowUs, 100.0);
+    EXPECT_GE(c.ciHighUs, 100.0);
+}
+
+TEST(CompareToSloTest, WiderConfidenceWidensTheInterval)
+{
+    const std::vector<double> samples = {90.0, 100.0, 110.0, 105.0};
+    const SloComparison narrow = compareToSlo(samples, 100.0, 0.80);
+    const SloComparison wide = compareToSlo(samples, 100.0, 0.99);
+    EXPECT_LT(narrow.ciHighUs - narrow.ciLowUs,
+              wide.ciHighUs - wide.ciLowUs);
+}
+
 } // namespace
 } // namespace analysis
 } // namespace treadmill

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the drive layer: adaptive capacity search (it must beat
+ * the fixed planner's run budget), parameter validation, and the
+ * pipelined study driver's determinism across parallelism settings.
+ */
+
+#include "drive/capacity_controller.h"
+#include "drive/study_driver.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/export.h"
+#include "store/reader.h"
+#include "util/error.h"
+
+namespace treadmill {
+namespace drive {
+namespace {
+
+namespace fs = std::filesystem;
+
+CapacityControllerParams
+quickSearch(double sloUs)
+{
+    CapacityControllerParams params;
+    params.search.base.collector.warmUpSamples = 100;
+    params.search.base.collector.calibrationSamples = 100;
+    params.search.base.collector.measurementSamples = 1200;
+    params.search.base.config.dvfs = hw::DvfsGovernor::Performance;
+    params.search.tau = 0.99;
+    params.search.sloUs = sloUs;
+    params.search.maxIterations = 4;
+    params.search.runsPerPoint = 2;
+    params.search.seed = 8;
+    params.maxRunsPerProbe = 4;
+    return params;
+}
+
+TEST(CapacityControllerTest, ValidatesEveryField)
+{
+    // Shared validation with the fixed planner names the base field...
+    CapacityControllerParams bad = quickSearch(100.0);
+    bad.search.sloUs = 0.0;
+    EXPECT_THROW(CapacityController{bad}, ConfigError);
+    bad = quickSearch(100.0);
+    bad.search.tau = 1.5;
+    EXPECT_THROW(CapacityController{bad}, ConfigError);
+    bad = quickSearch(100.0);
+    bad.search.utilizationLow = 0.9;
+    bad.search.utilizationHigh = 0.5;
+    EXPECT_THROW(CapacityController{bad}, ConfigError);
+    // ...and the controller's own knobs get the same treatment.
+    bad = quickSearch(100.0);
+    bad.maxRunsPerProbe = 1; // below runsPerPoint = 2
+    EXPECT_THROW(CapacityController{bad}, ConfigError);
+    bad = quickSearch(100.0);
+    bad.confidence = 1.0;
+    EXPECT_THROW(CapacityController{bad}, ConfigError);
+    bad = quickSearch(100.0);
+    bad.confidence = 0.3;
+    EXPECT_THROW(CapacityController{bad}, ConfigError);
+    bad = quickSearch(100.0);
+    bad.utilizationTolerance = 0.0;
+    EXPECT_THROW(CapacityController{bad}, ConfigError);
+}
+
+TEST(CapacityControllerTest, EasySloResolvesInFewerRunsThanFixed)
+{
+    // A loose SLO lets both bracket probes clear on their first wave,
+    // so the adaptive search must come in strictly under the fixed
+    // planner's (2 + maxIterations) * runsPerPoint budget.
+    CapacityController controller(quickSearch(1.0e6));
+    const CapacitySearchResult result = controller.search();
+    EXPECT_FALSE(result.infeasible);
+    EXPECT_TRUE(result.converged);
+    EXPECT_DOUBLE_EQ(result.maxUtilization, 0.90);
+    EXPECT_EQ(result.fixedPlannerRuns, (2u + 4u) * 2u);
+    EXPECT_LT(result.totalRuns, result.fixedPlannerRuns);
+    ASSERT_EQ(result.probes.size(), 2u);
+    for (const ProbeOutcome &probe : result.probes) {
+        EXPECT_TRUE(probe.meetsSlo);
+        EXPECT_TRUE(probe.earlyExit);
+        EXPECT_EQ(probe.comparison.verdict,
+                  analysis::SloVerdict::Clears);
+    }
+}
+
+TEST(CapacityControllerTest, ImpossibleSloIsInfeasible)
+{
+    CapacityController controller(quickSearch(1.0));
+    const CapacitySearchResult result = controller.search();
+    EXPECT_TRUE(result.infeasible);
+    EXPECT_DOUBLE_EQ(result.maxUtilization, 0.0);
+    ASSERT_EQ(result.probes.size(), 1u);
+    EXPECT_FALSE(result.probes[0].meetsSlo);
+}
+
+TEST(CapacityControllerTest, ArchivesEverySimulatedRun)
+{
+    const std::string dir =
+        (fs::temp_directory_path() / "tmdrive_test_archive").string();
+    fs::remove_all(dir);
+
+    store::StudyMeta meta;
+    meta.name = "capacity";
+    meta.factors = {"utilization"};
+    meta.quantiles = {0.5, 0.99};
+    store::StudyWriter archive(dir, meta);
+
+    CapacityController controller(quickSearch(1.0e6));
+    const CapacitySearchResult result = controller.search(&archive);
+    archive.finish();
+
+    store::StudyReader study(dir);
+    EXPECT_EQ(study.runCount(), result.totalRuns);
+    EXPECT_EQ(study.verify().size(), 0u);
+    // Each archived run carries its probe's utilization as the level.
+    const store::RunRecord first = study.openRun(0).record();
+    ASSERT_EQ(first.factorLevels.size(), 1u);
+    EXPECT_DOUBLE_EQ(first.factorLevels[0], 0.05);
+    fs::remove_all(dir);
+}
+
+StudyDriverParams
+quickDriver()
+{
+    StudyDriverParams params;
+    params.factors = {"load"};
+    params.fit.quantiles = {0.5, 0.9};
+    params.fit.bootstrapReplicates = 20;
+    params.fit.seed = 5;
+    params.reservoirCapacity = 2000;
+    return params;
+}
+
+std::vector<StudyRun>
+quickPlan(std::size_t reps)
+{
+    std::vector<StudyRun> plan;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        for (int level = 0; level <= 1; ++level) {
+            StudyRun run;
+            run.params.collector.warmUpSamples = 100;
+            run.params.collector.calibrationSamples = 100;
+            run.params.collector.measurementSamples = 1200;
+            run.params.targetUtilization = level == 0 ? 0.3 : 0.7;
+            run.params.seed = 41 + 13 * plan.size();
+            run.levels = {static_cast<double>(level)};
+            plan.push_back(std::move(run));
+        }
+    }
+    return plan;
+}
+
+TEST(StudyDriverTest, ValidatesParamsAndPlan)
+{
+    StudyDriverParams bad = quickDriver();
+    bad.factors.clear();
+    EXPECT_THROW(StudyDriver{bad}, ConfigError);
+    bad = quickDriver();
+    bad.fit.quantiles.clear();
+    EXPECT_THROW(StudyDriver{bad}, ConfigError);
+    bad = quickDriver();
+    bad.fit.quantiles = {1.5};
+    EXPECT_THROW(StudyDriver{bad}, ConfigError);
+    bad = quickDriver();
+    bad.reservoirCapacity = 0;
+    EXPECT_THROW(StudyDriver{bad}, ConfigError);
+
+    StudyDriver driver(quickDriver());
+    std::vector<StudyRun> plan = quickPlan(1);
+    plan[0].levels = {0.0, 1.0}; // two levels for one factor
+    EXPECT_THROW(driver.run(plan), ConfigError);
+}
+
+TEST(StudyDriverTest, OutcomeIsIdenticalAcrossParallelism)
+{
+    // The pipeline's core claim: models, responses, and archive bytes
+    // depend only on the plan, never on worker count or completion
+    // order.
+    const std::vector<StudyRun> plan = quickPlan(2);
+    const std::string dirA =
+        (fs::temp_directory_path() / "tmdrive_test_serial").string();
+    const std::string dirB =
+        (fs::temp_directory_path() / "tmdrive_test_parallel").string();
+    fs::remove_all(dirA);
+    fs::remove_all(dirB);
+
+    store::StudyMeta meta;
+    meta.name = "driver";
+    meta.factors = {"load"};
+    meta.quantiles = {0.5, 0.9};
+
+    StudyDriverParams serial = quickDriver();
+    serial.parallelism.threads = 1;
+    StudyDriverParams parallel = quickDriver();
+    parallel.parallelism.threads = 3;
+
+    store::StudyWriter archiveA(dirA, meta);
+    const StudyOutcome outA =
+        StudyDriver(serial).run(plan, &archiveA);
+    archiveA.finish();
+    store::StudyWriter archiveB(dirB, meta);
+    const StudyOutcome outB =
+        StudyDriver(parallel).run(plan, &archiveB);
+    archiveB.finish();
+
+    EXPECT_EQ(outA.levels, outB.levels);
+    EXPECT_EQ(outA.responses, outB.responses);
+    EXPECT_EQ(analysis::toJson(outA.models).dump(),
+              analysis::toJson(outB.models).dump());
+
+    store::StudyReader studyA(dirA);
+    store::StudyReader studyB(dirB);
+    ASSERT_EQ(studyA.runCount(), plan.size());
+    ASSERT_EQ(studyB.runCount(), plan.size());
+    for (std::uint64_t seq = 0; seq < plan.size(); ++seq) {
+        std::ifstream a(studyA.runPath(seq), std::ios::binary);
+        std::ifstream b(studyB.runPath(seq), std::ios::binary);
+        const std::string bytesA(
+            (std::istreambuf_iterator<char>(a)),
+            std::istreambuf_iterator<char>());
+        const std::string bytesB(
+            (std::istreambuf_iterator<char>(b)),
+            std::istreambuf_iterator<char>());
+        EXPECT_EQ(bytesA, bytesB) << "run " << seq;
+    }
+    fs::remove_all(dirA);
+    fs::remove_all(dirB);
+}
+
+TEST(StudyDriverTest, RefitsOverlapSimulation)
+{
+    // With refitEvery = 1 the consumer refits after (nearly) every
+    // completion. Whatever the completion order, by the second-to-last
+    // completion both factor levels are present, so at least one
+    // incremental refit must succeed while runs are still in flight.
+    StudyDriverParams params = quickDriver();
+    params.refitEvery = 1;
+    params.parallelism.threads = 2;
+    const std::vector<StudyRun> plan = quickPlan(3);
+    const StudyOutcome out = StudyDriver(params).run(plan);
+    EXPECT_GE(out.refitsOverlapped, 1u);
+    EXPECT_EQ(out.runs, plan.size());
+    EXPECT_EQ(out.levels.size(), plan.size());
+}
+
+} // namespace
+} // namespace drive
+} // namespace treadmill

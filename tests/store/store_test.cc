@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Run store tests: format roundtrip, byte-identity, and the
+ * corruption matrix -- truncation, bit flips, version skew, and
+ * interrupted writes must each surface as their own typed error.
+ */
+
+#include "store/reader.h"
+#include "store/writer.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "store/errors.h"
+#include "store/format.h"
+#include "util/checksum.h"
+#include "util/error.h"
+
+namespace treadmill {
+namespace store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A scratch study directory, wiped on construction and teardown. */
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = (fs::temp_directory_path() /
+               ("tmstore_test_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name())))
+                  .string();
+        fs::remove_all(dir);
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string dir;
+};
+
+StudyMeta
+meta()
+{
+    StudyMeta m;
+    m.name = "unit";
+    m.factors = {"a", "b"};
+    m.quantiles = {0.5, 0.99};
+    m.configDigest = 0xabcdef0123456789ull;
+    return m;
+}
+
+RunRecord
+record(std::uint64_t seed)
+{
+    RunRecord rec;
+    rec.seed = seed;
+    rec.configDigest = 0x1111222233334444ull;
+    rec.factorLevels = {1.0, 0.0};
+    rec.quantileTaus = {0.5, 0.99};
+    rec.quantileUs = {101.25, 987.5};
+    rec.reservoir = {90.0, 95.0, 100.0, 110.0, 950.0};
+    rec.reservoirSeen = 4000;
+    rec.reservoirCapacity = 16;
+    rec.targetRps = 1000.0;
+    rec.achievedRps = 998.5;
+    rec.serverUtilization = 0.7;
+    rec.simulatedSeconds = 4.0;
+    rec.metricsJson = "{\"counters\":{}}";
+    rec.provenance = {{0.99, 3, 880.0, 0.9}, {0.99, 1, 40.0, 0.04}};
+    return rec;
+}
+
+std::string
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return data;
+}
+
+void
+writeBytes(const std::string &path, const std::string &data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size()));
+}
+
+TEST_F(StoreTest, RoundTripsEveryColumn)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(42));
+        writer.finish();
+    }
+    StudyReader study(dir);
+    EXPECT_EQ(study.meta().name, "unit");
+    EXPECT_EQ(study.meta().factors,
+              (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(study.meta().configDigest, 0xabcdef0123456789ull);
+    ASSERT_EQ(study.runCount(), 1u);
+
+    const RunReader run = study.openRun(0);
+    EXPECT_EQ(run.runSeq(), 0u);
+    const RunRecord rec = run.record();
+    const RunRecord want = record(42);
+    EXPECT_EQ(rec.seed, want.seed);
+    EXPECT_EQ(rec.configDigest, want.configDigest);
+    EXPECT_EQ(rec.factorLevels, want.factorLevels);
+    EXPECT_EQ(rec.quantileTaus, want.quantileTaus);
+    EXPECT_EQ(rec.quantileUs, want.quantileUs);
+    EXPECT_EQ(rec.reservoir, want.reservoir);
+    EXPECT_EQ(rec.reservoirSeen, want.reservoirSeen);
+    EXPECT_EQ(rec.reservoirCapacity, want.reservoirCapacity);
+    EXPECT_EQ(rec.targetRps, want.targetRps);
+    EXPECT_EQ(rec.achievedRps, want.achievedRps);
+    EXPECT_EQ(rec.serverUtilization, want.serverUtilization);
+    EXPECT_EQ(rec.simulatedSeconds, want.simulatedSeconds);
+    EXPECT_EQ(rec.metricsJson, want.metricsJson);
+    ASSERT_EQ(rec.provenance.size(), 2u);
+    EXPECT_EQ(rec.provenance[0].kind, 3u);
+    EXPECT_EQ(rec.provenance[0].share, 0.9);
+    EXPECT_EQ(study.verify().size(), 0u);
+}
+
+TEST_F(StoreTest, OmitsProvenanceColumnsWhenEmpty)
+{
+    RunRecord rec = record(1);
+    rec.provenance.clear();
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, rec);
+        writer.finish();
+    }
+    const RunReader run = StudyReader(dir).openRun(0);
+    EXPECT_FALSE(run.has(ColumnId::ProvenanceTaus));
+    EXPECT_TRUE(run.record().provenance.empty());
+}
+
+TEST_F(StoreTest, IdenticalRecordsGiveByteIdenticalFiles)
+{
+    // The determinism suite's on-disk extension: a record file's bytes
+    // are a pure function of (record, seq).
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(7));
+        writer.writeRun(1, record(7));
+        writer.finish();
+    }
+    const std::string other = dir + "_b";
+    fs::remove_all(other);
+    {
+        StudyWriter writer(other, meta());
+        // Reverse completion order: parallel persistence must not
+        // change any byte.
+        writer.writeRun(1, record(7));
+        writer.writeRun(0, record(7));
+        writer.finish();
+    }
+    StudyReader study(dir);
+    StudyReader studyB(other);
+    EXPECT_EQ(readBytes(study.runPath(0)), readBytes(studyB.runPath(0)));
+    EXPECT_EQ(readBytes(study.runPath(1)), readBytes(studyB.runPath(1)));
+    EXPECT_EQ(readBytes((fs::path(dir) / kManifestName).string()),
+              readBytes((fs::path(other) / kManifestName).string()));
+    // Files at different seqs differ only by the header stamp.
+    EXPECT_NE(readBytes(study.runPath(0)), readBytes(study.runPath(1)));
+    fs::remove_all(other);
+}
+
+TEST_F(StoreTest, EncodeIsPureAndAlignedPerColumn)
+{
+    const auto image = encodeRunRecord(record(3), 5);
+    EXPECT_EQ(image, encodeRunRecord(record(3), 5));
+    EXPECT_NE(image, encodeRunRecord(record(4), 5));
+    EXPECT_EQ(encodedByteSize(image) % 8, 0u);
+}
+
+TEST_F(StoreTest, TruncatedFileIsTruncatedError)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(9));
+        writer.finish();
+    }
+    StudyReader study(dir);
+    const std::string path = study.runPath(0);
+    const std::string bytes = readBytes(path);
+
+    // Shorter than the header.
+    writeBytes(path, bytes.substr(0, 10));
+    EXPECT_THROW(study.openRun(0), TruncatedError);
+    // Header intact but a column payload cut off.
+    writeBytes(path, bytes.substr(0, bytes.size() - 12));
+    EXPECT_THROW(study.openRun(0), TruncatedError);
+
+    const auto problems = study.verify();
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_EQ(problems[0].kind, "TruncatedError");
+}
+
+TEST_F(StoreTest, CorruptedPayloadIsChecksumError)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(9));
+        writer.finish();
+    }
+    StudyReader study(dir);
+    const std::string path = study.runPath(0);
+    std::string bytes = readBytes(path);
+    // Flip one bit in the last payload byte: column CRC must catch it.
+    bytes[bytes.size() - 1] =
+        static_cast<char>(bytes[bytes.size() - 1] ^ 0x01);
+    writeBytes(path, bytes);
+    EXPECT_THROW(study.openRun(0), ChecksumError);
+
+    const auto problems = study.verify();
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_EQ(problems[0].kind, "ChecksumError");
+}
+
+TEST_F(StoreTest, CorruptedTableIsChecksumError)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(9));
+        writer.finish();
+    }
+    StudyReader study(dir);
+    const std::string path = study.runPath(0);
+    std::string bytes = readBytes(path);
+    // Flip a descriptor byte (inside the table, after the header).
+    bytes[sizeof(FileHeader) + 4] =
+        static_cast<char>(bytes[sizeof(FileHeader) + 4] ^ 0x40);
+    writeBytes(path, bytes);
+    EXPECT_THROW(study.openRun(0), ChecksumError);
+}
+
+TEST_F(StoreTest, FutureSchemaVersionIsVersionError)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(9));
+        writer.finish();
+    }
+    StudyReader study(dir);
+    const std::string path = study.runPath(0);
+    std::string bytes = readBytes(path);
+    // Bump the version field (little-endian u32 at offset 4). The
+    // reader checks the version before any checksum, so skew is what
+    // it trips on even though the table CRC no longer matches.
+    bytes[4] = static_cast<char>(kRunVersion + 1);
+    writeBytes(path, bytes);
+    EXPECT_THROW(study.openRun(0), VersionError);
+
+    const auto problems = study.verify();
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_EQ(problems[0].kind, "VersionError");
+}
+
+TEST_F(StoreTest, NotARecordFileIsFormatError)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(9));
+        writer.finish();
+    }
+    StudyReader study(dir);
+    writeBytes(study.runPath(0),
+               "this is thirty bytes of not-tmr");
+    EXPECT_THROW(study.openRun(0), FormatError);
+}
+
+TEST_F(StoreTest, PartialWriteIsRecoverableAndReported)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(9));
+        writer.writeRun(1, record(10));
+        writer.finish();
+    }
+    StudyReader study(dir);
+    // Simulate a crash mid-write: an orphaned temp next to a missing
+    // final file.
+    const std::string path = study.runPath(1);
+    writeBytes(path + kTmpSuffix, readBytes(path).substr(0, 40));
+    fs::remove(path);
+
+    const auto problems = study.verify();
+    ASSERT_EQ(problems.size(), 2u);
+    EXPECT_EQ(problems[0].kind, "TruncatedError"); // the orphan temp
+    EXPECT_EQ(problems[1].kind, "TruncatedError"); // the missing run
+    EXPECT_THROW(study.openRun(1), TruncatedError);
+    // Run 0 is untouched: recovery keeps every fully written record.
+    EXPECT_NO_THROW(study.openRun(0));
+}
+
+TEST_F(StoreTest, MixedRecordsAtSameLevelsFailVerify)
+{
+    RunRecord other = record(11);
+    other.configDigest ^= 0xff;
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(9));
+        writer.writeRun(1, other); // same levels, different config
+        writer.finish();
+    }
+    const auto problems = StudyReader(dir).verify();
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_EQ(problems[0].kind, "FormatError");
+}
+
+TEST_F(StoreTest, WriterRefusesNonEmptyStudyWithoutOverwrite)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.writeRun(0, record(1));
+        writer.finish();
+    }
+    EXPECT_THROW(StudyWriter(dir, meta()), ConfigError);
+    // Overwrite clears the previous study entirely.
+    StudyWriter writer(dir, meta(), StudyWriter::Options{true});
+    writer.writeRun(0, record(2));
+    writer.finish();
+    StudyReader study(dir);
+    EXPECT_EQ(study.runCount(), 1u);
+    EXPECT_EQ(study.openRun(0).record().seed, 2u);
+}
+
+TEST_F(StoreTest, FinishRejectsSequenceGaps)
+{
+    StudyWriter writer(dir, meta());
+    writer.writeRun(0, record(1));
+    writer.writeRun(2, record(3));
+    EXPECT_THROW(writer.finish(), StoreError);
+}
+
+TEST_F(StoreTest, WriterRejectsWrongFactorCount)
+{
+    StudyWriter writer(dir, meta());
+    RunRecord rec = record(1);
+    rec.factorLevels = {1.0};
+    EXPECT_THROW(writer.writeRun(0, rec), ConfigError);
+}
+
+TEST_F(StoreTest, MissingManifestIsFormatError)
+{
+    fs::create_directories(dir);
+    EXPECT_THROW(StudyReader reader(dir), FormatError);
+}
+
+TEST_F(StoreTest, UnknownManifestSchemaIsVersionError)
+{
+    {
+        StudyWriter writer(dir, meta());
+        writer.finish();
+    }
+    const std::string manifest =
+        (fs::path(dir) / kManifestName).string();
+    std::string text = readBytes(manifest);
+    const std::size_t at = text.find("tmstore/1");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 9, "tmstore/9");
+    writeBytes(manifest, text);
+    EXPECT_THROW(StudyReader reader(dir), VersionError);
+}
+
+TEST(ChecksumTest, Crc32MatchesKnownVectors)
+{
+    // zlib's crc32("123456789") reference value.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(ChecksumTest, Fnv1a64MatchesKnownVectors)
+{
+    EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+}
+
+} // namespace
+} // namespace store
+} // namespace treadmill

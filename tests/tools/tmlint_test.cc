@@ -360,6 +360,55 @@ TEST(TmlintLayering, CycleFixtureIsReported)
         << describe(findings);
 }
 
+TEST(TmlintLayering, StoreStaysBelowTheSimulationStack)
+{
+    // The run store is a leaf above util only: including simulation,
+    // server, or stats headers from store/ is an upward include.
+    const auto sim =
+        lintOne("src/store/writer.cc", "#include \"sim/simulation.h\"\n");
+    EXPECT_EQ(countRule(sim, "layering"), 1) << describe(sim);
+    const auto server =
+        lintOne("src/store/reader.cc", "#include \"server/kvstore.h\"\n");
+    EXPECT_EQ(countRule(server, "layering"), 1) << describe(server);
+    const auto stats =
+        lintOne("src/store/record.h", "#include \"stats/reservoir.h\"\n");
+    EXPECT_EQ(countRule(stats, "layering"), 1) << describe(stats);
+    const auto util =
+        lintOne("src/store/writer.cc", "#include \"util/checksum.h\"\n");
+    EXPECT_EQ(countRule(util, "layering"), 0) << describe(util);
+}
+
+TEST(TmlintLayering, DriveSitsAboveAnalysisButIsNotIncludable)
+{
+    // drive/ may reach down into analysis, core, and store...
+    Linter linter(defaultConfig());
+    linter.lintFile("src/drive/capacity_controller.cc",
+                    "#include \"analysis/capacity.h\"\n"
+                    "#include \"core/run_record.h\"\n"
+                    "#include \"store/writer.h\"\n");
+    const auto down = linter.finish();
+    EXPECT_TRUE(down.empty()) << describe(down);
+
+    // ...but nothing below it may include drive back.
+    const auto up = lintOne("src/analysis/refit.cc",
+                            "#include \"drive/study_driver.h\"\n");
+    EXPECT_EQ(countRule(up, "layering"), 1) << describe(up);
+    const auto core = lintOne("src/core/experiment.cc",
+                              "#include \"drive/capacity_controller.h\"\n");
+    EXPECT_EQ(countRule(core, "layering"), 1) << describe(core);
+}
+
+TEST(TmlintLayering, CoreAndAnalysisMayUseTheStore)
+{
+    Linter linter(defaultConfig());
+    linter.lintFile("src/core/run_record.cc",
+                    "#include \"store/record.h\"\n");
+    linter.lintFile("src/analysis/refit.cc",
+                    "#include \"store/reader.h\"\n");
+    const auto findings = linter.finish();
+    EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
 // ---------------------------------------------------------------------
 // Configuration.
 // ---------------------------------------------------------------------

@@ -45,16 +45,19 @@ const char *const kDefaultJson = R"CFG({
         "obs": ["util"],
         "stats": ["util"],
         "sim": ["util", "obs"],
+        "store": ["util"],
         "regress": ["util", "stats"],
         "hw": ["util", "sim"],
         "net": ["util", "sim", "obs"],
         "server": ["util", "sim", "obs", "hw"],
         "lb": ["util", "sim", "obs", "server"],
         "fault": ["util", "sim", "obs", "hw", "net", "server"],
-        "core": ["util", "exec", "sim", "obs", "stats",
+        "core": ["util", "exec", "sim", "obs", "stats", "store",
                  "hw", "net", "server", "fault", "lb"],
-        "analysis": ["util", "exec", "sim", "obs", "stats",
-                     "hw", "net", "server", "core", "regress", "lb"]
+        "analysis": ["util", "exec", "sim", "obs", "stats", "store",
+                     "hw", "net", "server", "core", "regress", "lb"],
+        "drive": ["util", "exec", "stats", "store", "regress",
+                  "core", "analysis"]
       }
     }
   }
