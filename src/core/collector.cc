@@ -46,6 +46,7 @@ SampleCollector::add(double latencyUs)
       case Phase::Calibration:
         calibration.push_back(latencyUs);
         if (calibration.size() >= params.calibrationSamples) {
+            // tmlint:allow-next-line(hot-path-transitive): one-shot calibration->measurement transition, not steady state
             adaptive = std::make_unique<stats::AdaptiveHistogram>(
                 calibration, params.adaptive);
             // Calibration samples seed the histogram but do not count
@@ -91,6 +92,7 @@ SampleCollector::quantile(double q) const
     switch (params.histogram) {
       case HistogramKind::Adaptive:
         if (!adaptive || adaptive->count() == 0)
+            // tmlint:allow-next-line(hot-path-transitive): guards a misconfigured run before any sample exists, never taken per-request
             throw NumericalError("no measurement samples collected");
         return adaptive->quantile(q);
       case HistogramKind::Static:

@@ -70,9 +70,9 @@ StudyDriver::run(const std::vector<StudyRun> &plan,
 
     std::mutex mutex;
     std::condition_variable ready;
-    std::deque<Completion> queue;
-    bool producerDone = false;
-    std::exception_ptr failure;
+    std::deque<Completion> queue; // tm:guarded_by(mutex)
+    bool producerDone = false;    // tm:guarded_by(mutex)
+    std::exception_ptr failure;   // tm:guarded_by(mutex)
 
     // Producer: simulate + persist on the pool; the caller's thread
     // stays free to fit. parallelFor stops remaining indices on the
@@ -185,7 +185,9 @@ StudyDriver::run(const std::vector<StudyRun> &plan,
         }
     }
     producer.join();
+    // tmlint:allow-next-line(guarded-by): producer joined above; no concurrent writers remain
     if (failure)
+        // tmlint:allow-next-line(guarded-by): producer joined above; no concurrent writers remain
         std::rethrow_exception(failure);
 
     // Final fit over all runs in plan order -- bit-identical to

@@ -73,12 +73,12 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers;
-    std::deque<Task> queue;
+    std::deque<Task> queue; // tm:guarded_by(mutex)
     mutable std::mutex mutex;
     std::condition_variable wake; ///< Signals workers: task or shutdown.
     std::condition_variable idle; ///< Signals wait(): all tasks done.
-    std::size_t inFlight = 0;     ///< Tasks queued or executing.
-    bool stopping = false;
+    std::size_t inFlight = 0; ///< Queued or executing. tm:guarded_by(mutex)
+    bool stopping = false;    // tm:guarded_by(mutex)
 };
 
 } // namespace exec

@@ -48,12 +48,17 @@ void
 Simulation::countEvent(const char *type)
 {
     auto it = typeCounters.find(type);
-    if (it == typeCounters.end()) {
-        obs::Counter &counter =
-            registry.counter(std::string("sim.events.") + type);
-        it = typeCounters.emplace(type, &counter).first;
-    }
+    if (it == typeCounters.end())
+        it = typeCounters.emplace(type, &registerEventCounter(type)).first;
     it->second->add();
+}
+
+obs::Counter &
+Simulation::registerEventCounter(const char *type)
+{
+    // tmlint:cold: runs once per event type; steady state takes the
+    // memoized typeCounters hit in countEvent()
+    return registry.counter(std::string("sim.events.") + type);
 }
 
 bool

@@ -95,6 +95,9 @@ class Simulation
     void countEvent(const char *type);
 
   private:
+    /** Slow path of countEvent(): first sighting of an event type. */
+    obs::Counter &registerEventCounter(const char *type);
+
     EventQueue events;
     SimTime currentTime = 0;
     std::uint64_t executed = 0;

@@ -89,7 +89,7 @@ class StudyWriter
     std::string dir;
     StudyMeta studyMeta;
     mutable std::mutex mutex;
-    std::set<std::uint64_t> written;
+    std::set<std::uint64_t> written; // tm:guarded_by(mutex)
 };
 
 /** Atomically write @p bytes to @p path via a ".tmp" sibling. */

@@ -1,0 +1,51 @@
+// Seeded guarded-by violations: a tm:guarded_by field read without
+// its mutex, and a tm:requires function called from an unlocked
+// context. The locked accessors must stay silent.
+#include <deque>
+#include <mutex>
+
+namespace fixture {
+
+class Worker
+{
+  public:
+    void post(int job)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(job); // clean: lock held
+    }
+
+    bool idle() const
+    {
+        return queue.empty(); // violation: no lock held
+    }
+
+    // tm:requires(mutex)
+    void compactLocked()
+    {
+        while (queue.size() > 8) // clean: callers assert the lock
+            queue.pop_front();
+    }
+
+    void compactUnsafe()
+    {
+        compactLocked(); // violation: caller does not hold mutex
+    }
+
+    int drainOne();
+
+  private:
+    mutable std::mutex mutex;
+    std::deque<int> queue; // tm:guarded_by(mutex)
+};
+
+// Out-of-line definition: the field lookup crosses the qualifier.
+int Worker::drainOne()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    int job = queue.front(); // clean: lock held
+    queue.pop_front();
+    return job;
+}
+
+} // namespace fixture

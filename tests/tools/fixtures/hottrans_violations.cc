@@ -1,0 +1,29 @@
+// Seeded hot-path-transitive violation: a lexically-cold callee that
+// allocates is reached from a hot-path region through the call graph.
+// A callee marked cold must prune the walk.
+
+namespace fixture {
+
+// Violation target: not inside any hot region itself, but reachable
+// from hotLoop() below.
+int *makeBuffer()
+{
+    return new int[64];
+}
+
+int *setupBuffer()
+{
+    // tmlint:cold: arena construction happens once at setup
+    return new int[1024];
+}
+
+// tmlint:hot-path-begin
+int hotLoop()
+{
+    int *buf = makeBuffer(); // pulls the alloc onto the hot path
+    int *arena = setupBuffer(); // clean: callee is marked cold
+    return buf[0] + arena[0];
+}
+// tmlint:hot-path-end
+
+} // namespace fixture

@@ -1,0 +1,37 @@
+// Seeded pool-lifetime violations: a handle used after release, and a
+// pooled pointer escaping into a container that outlives the handle.
+#include <vector>
+
+#include "util/pool.h"
+
+namespace fixture {
+
+struct Conn {
+    int fd = 0;
+};
+
+int useAfterRelease()
+{
+    util::Pool<Conn> pool(8);
+    auto h = pool.acquire();
+    pool.get(h)->fd = 3; // clean: handle live
+    pool.release(h);
+    return pool.get(h)->fd; // violation: h released above
+}
+
+class Registry
+{
+  public:
+    void remember()
+    {
+        auto h = pool.acquire();
+        Conn *c = pool.get(h);
+        refs.push_back(c); // violation: pooled pointer escapes
+    }
+
+  private:
+    util::Pool<Conn> pool{8};
+    std::vector<Conn *> refs;
+};
+
+} // namespace fixture

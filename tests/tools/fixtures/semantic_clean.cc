@@ -1,0 +1,84 @@
+// Clean-pass fixture for the semantic rule families: ordered exports,
+// lock-disciplined guarded state, rearmed pool handles, and a hot
+// path whose callees are hygienic -- tmlint must report nothing here.
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/pool.h"
+
+namespace fixture {
+
+// Ordered source: std::map iteration is deterministic, so the export
+// sink sees no taint.
+std::vector<int> collectOrdered(const std::map<int, int> &m)
+{
+    std::vector<int> out;
+    for (const auto &entry : m)
+        out.push_back(entry.second);
+    return out;
+}
+
+void exportOrdered(const std::map<int, int> &m)
+{
+    std::vector<int> rows = collectOrdered(m);
+    toJson(rows);
+}
+
+// Guarded state touched only under its mutex, including through a
+// tm:requires callee invoked with the lock held.
+class Worker
+{
+  public:
+    void post(int job)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(job);
+        compactLocked();
+    }
+
+    // tm:requires(mutex)
+    void compactLocked()
+    {
+        while (queue.size() > 8)
+            queue.pop_front();
+    }
+
+  private:
+    std::mutex mutex;
+    std::deque<int> queue; // tm:guarded_by(mutex)
+};
+
+// A released handle that is reacquired before reuse.
+struct Conn {
+    int fd = 0;
+};
+
+int reacquire()
+{
+    util::Pool<Conn> pool(8);
+    auto h = pool.acquire();
+    pool.release(h);
+    h = pool.acquire();
+    return pool.get(h)->fd;
+}
+
+// Hot path calling a hygienic helper: no alloc/string/throw anywhere
+// in the closure.
+inline int accumulate(const std::vector<int> &values)
+{
+    int total = 0;
+    for (int v : values)
+        total += v;
+    return total;
+}
+
+// tmlint:hot-path-begin
+inline int hotSum(const std::vector<int> &values)
+{
+    return accumulate(values);
+}
+// tmlint:hot-path-end
+
+} // namespace fixture

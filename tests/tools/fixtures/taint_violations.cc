@@ -1,0 +1,35 @@
+// Seeded determinism-taint violations: values iterated out of
+// std::unordered_* flow into export sinks, once directly through a
+// call hop and once through a tainted receiver. Fixtures are data,
+// not compiled sources; undeclared sink names are fine.
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Taint source: iterating the unordered parameter taints `entry`,
+// the pushed element, and (through the return) every caller.
+std::vector<int> collect(const std::unordered_map<int, int> &m)
+{
+    std::vector<int> out;
+    for (const auto &entry : m)
+        out.push_back(entry.second);
+    return out;
+}
+
+// Violation 1: the tainted return value crosses one call hop and is
+// handed to an export sink as an argument.
+void exportHop(const std::unordered_map<int, int> &m)
+{
+    std::vector<int> rows = collect(m);
+    toJson(rows);
+}
+
+// Violation 2: a sink *method* invoked on a tainted receiver.
+void exportReceiver(const std::unordered_map<int, int> &m)
+{
+    std::vector<int> rows = collect(m);
+    rows.dump();
+}
+
+} // namespace fixture

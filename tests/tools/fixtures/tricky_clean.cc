@@ -43,4 +43,17 @@ steady(Sim &sim, const std::vector<long> &values, const std::string &tag)
 
 std::vector<std::string> kNames; // template argument, no construction
 
+// Digit separators and user-defined literals: the separator must not
+// split one number into several tokens, and a UDL suffix must stay
+// glued to its literal instead of becoming a free identifier (a
+// suffix like `_time` would otherwise look like a banned call).
+constexpr long kBudget = 1'000'000;
+constexpr unsigned kMask = 0xFF'FF'00'00u;
+constexpr double kRatio = 1'234.567'8;
+
+long operator""_time(unsigned long long v) { return static_cast<long>(v); }
+
+const long kDeadline = 25_time;
+const long kWindow = 1'000_time;
+
 } // namespace fixture

@@ -13,8 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include "cache.h"
 #include "lint.h"
+#include "sarif.h"
 #include "util/error.h"
+#include "util/json.h"
 
 namespace treadmill {
 namespace tmlint {
@@ -441,6 +444,15 @@ TEST(TmlintConfig, RepoConfigFileMatchesBuiltInDefaults)
     EXPECT_EQ(fromFile.exportModules, builtIn.exportModules);
     EXPECT_EQ(fromFile.layering, builtIn.layering);
     EXPECT_EQ(fromFile.disabled, builtIn.disabled);
+    EXPECT_EQ(fromFile.taintSinks, builtIn.taintSinks);
+    EXPECT_EQ(fromFile.hotTransitiveDepth, builtIn.hotTransitiveDepth);
+}
+
+TEST(TmlintConfig, HotTransitiveDepthMustBePositive)
+{
+    EXPECT_THROW(
+        parseConfig(R"({"rules": {"hot-path-transitive": {"depth": 0}}})"),
+        ConfigError);
 }
 
 TEST(TmlintConfig, DisabledRuleIsSilent)
@@ -451,6 +463,214 @@ TEST(TmlintConfig, DisabledRuleIsSilent)
     Linter linter(cfg);
     linter.lintFile("src/core/a.cc", "std::mt19937 g;\n");
     EXPECT_TRUE(linter.finish().empty());
+}
+
+// ---------------------------------------------------------------------
+// Semantic rule families: seeded violations plus a clean pass over the
+// same constructs done right.
+// ---------------------------------------------------------------------
+
+TEST(TmlintSemanticFixtures, TaintFlowsThroughCallHopIntoSink)
+{
+    const auto findings = lintOne("src/core/taint_violations.cc",
+                                  readFixture("taint_violations.cc"));
+    EXPECT_EQ(countRule(findings, "determinism-taint"), 2)
+        << describe(findings);
+    EXPECT_EQ(findings.size(), 2u) << describe(findings);
+}
+
+TEST(TmlintSemanticFixtures, UnlockedGuardedAccessesAreFlagged)
+{
+    const auto findings = lintOne("src/exec/guarded_violations.cc",
+                                  readFixture("guarded_violations.cc"));
+    EXPECT_EQ(countRule(findings, "guarded-by"), 2) << describe(findings);
+    EXPECT_EQ(findings.size(), 2u) << describe(findings);
+}
+
+TEST(TmlintSemanticFixtures, PoolMisusesAreFlagged)
+{
+    const auto findings = lintOne("src/exec/pool_violations.cc",
+                                  readFixture("pool_violations.cc"));
+    EXPECT_EQ(countRule(findings, "pool-lifetime"), 2)
+        << describe(findings);
+    EXPECT_EQ(findings.size(), 2u) << describe(findings);
+}
+
+TEST(TmlintSemanticFixtures, HotPathReachesAllocatingCallee)
+{
+    const auto findings = lintOne("src/sim/hottrans_violations.cc",
+                                  readFixture("hottrans_violations.cc"));
+    EXPECT_EQ(countRule(findings, "hot-path-transitive"), 1)
+        << describe(findings);
+    EXPECT_EQ(findings.size(), 1u) << describe(findings);
+}
+
+TEST(TmlintSemanticFixtures, DisciplinedCodeIsClean)
+{
+    const auto findings = lintOne("src/core/semantic_clean.cc",
+                                  readFixture("semantic_clean.cc"));
+    EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// ---------------------------------------------------------------------
+// Incremental cache.
+// ---------------------------------------------------------------------
+
+TEST(TmlintCache, WarmRunReanalyzesOnlyChangedFiles)
+{
+    const std::string a = "int alpha() { return 1; }\n";
+    const std::string b = "int beta() { return 2; }\n";
+    IndexCache cache("builtin");
+
+    Linter cold(defaultConfig());
+    cold.attachCache(&cache);
+    cold.lintFile("src/core/a.cc", a);
+    cold.lintFile("src/core/b.cc", b);
+    cold.finish();
+    EXPECT_EQ(cold.analyzedCount(), 2u);
+    EXPECT_EQ(cold.cachedCount(), 0u);
+
+    Linter warm(defaultConfig());
+    warm.attachCache(&cache);
+    warm.lintFile("src/core/a.cc", a);
+    warm.lintFile("src/core/b.cc", "int beta() { return 3; }\n");
+    warm.finish();
+    EXPECT_EQ(warm.analyzedCount(), 1u);
+    EXPECT_EQ(warm.cachedCount(), 1u);
+}
+
+TEST(TmlintCache, CachedSummaryReplaysLocalFindings)
+{
+    const std::string src = "std::mt19937 g;\n";
+    IndexCache cache("builtin");
+
+    Linter cold(defaultConfig());
+    cold.attachCache(&cache);
+    cold.lintFile("src/core/a.cc", src);
+    const auto coldFindings = cold.finish();
+
+    Linter warm(defaultConfig());
+    warm.attachCache(&cache);
+    warm.lintFile("src/core/a.cc", src);
+    const auto warmFindings = warm.finish();
+
+    EXPECT_EQ(warm.cachedCount(), 1u);
+    EXPECT_EQ(describe(coldFindings), describe(warmFindings));
+    EXPECT_EQ(countRule(warmFindings, "no-default-seed"), 1);
+}
+
+TEST(TmlintCache, SaveLoadRoundTripSurvivesAndFindingsPersist)
+{
+    const std::string path =
+        testing::TempDir() + "/tmlint_cache_roundtrip.json";
+    const std::string src = "std::random_device rd;\n";
+
+    {
+        IndexCache cache("builtin");
+        Linter linter(defaultConfig());
+        linter.attachCache(&cache);
+        linter.lintFile("src/core/a.cc", src);
+        linter.finish();
+        ASSERT_TRUE(cache.save(path));
+    }
+
+    IndexCache reloaded("builtin");
+    reloaded.load(path);
+    Linter warm(defaultConfig());
+    warm.attachCache(&reloaded);
+    warm.lintFile("src/core/a.cc", src);
+    const auto findings = warm.finish();
+    EXPECT_EQ(warm.cachedCount(), 1u);
+    EXPECT_EQ(countRule(findings, "no-ambient-entropy"), 1)
+        << describe(findings);
+}
+
+TEST(TmlintCache, ConfigKeyMismatchInvalidatesEverything)
+{
+    const std::string path =
+        testing::TempDir() + "/tmlint_cache_configkey.json";
+    const std::string src = "int x = 0;\n";
+
+    {
+        IndexCache cache("key-one");
+        Linter linter(defaultConfig());
+        linter.attachCache(&cache);
+        linter.lintFile("src/core/a.cc", src);
+        linter.finish();
+        ASSERT_TRUE(cache.save(path));
+    }
+
+    IndexCache other("key-two");
+    other.load(path);
+    Linter warm(defaultConfig());
+    warm.attachCache(&other);
+    warm.lintFile("src/core/a.cc", src);
+    warm.finish();
+    EXPECT_EQ(warm.analyzedCount(), 1u);
+    EXPECT_EQ(warm.cachedCount(), 0u);
+}
+
+TEST(TmlintCache, MalformedCacheFileYieldsEmptyCache)
+{
+    const std::string path =
+        testing::TempDir() + "/tmlint_cache_malformed.json";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "{ not json";
+    }
+    IndexCache cache("builtin");
+    cache.load(path); // must not throw
+    Linter warm(defaultConfig());
+    warm.attachCache(&cache);
+    warm.lintFile("src/core/a.cc", "int x = 0;\n");
+    warm.finish();
+    EXPECT_EQ(warm.analyzedCount(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// SARIF output.
+// ---------------------------------------------------------------------
+
+TEST(TmlintSarif, ReportHasCodeScanningShape)
+{
+    const auto findings = lintOne("src/core/a.cc", "std::mt19937 g;\n");
+    ASSERT_EQ(findings.size(), 1u) << describe(findings);
+
+    const json::Value doc = json::parse(sarifReport(findings));
+    EXPECT_EQ(doc.at("version").asString(), "2.1.0");
+    const auto &runs = doc.at("runs").asArray();
+    ASSERT_EQ(runs.size(), 1u);
+
+    const json::Value &run = runs[0];
+    const json::Value &driver = run.at("tool").at("driver");
+    EXPECT_EQ(driver.at("name").asString(), "tmlint");
+
+    const auto &results = run.at("results").asArray();
+    ASSERT_EQ(results.size(), 1u);
+    const json::Value &result = results[0];
+    EXPECT_EQ(result.at("ruleId").asString(), "no-default-seed");
+    EXPECT_EQ(result.at("level").asString(), "error");
+
+    const json::Value &loc =
+        result.at("locations").asArray()[0].at("physicalLocation");
+    EXPECT_EQ(loc.at("artifactLocation").at("uri").asString(),
+              "src/core/a.cc");
+    EXPECT_EQ(loc.at("region").intOr("startLine", -1), 1);
+
+    // ruleIndex must point at the matching reportingDescriptor.
+    const auto &rules = driver.at("rules").asArray();
+    const auto idx =
+        static_cast<std::size_t>(result.at("ruleIndex").asInt());
+    ASSERT_LT(idx, rules.size());
+    EXPECT_EQ(rules[idx].at("id").asString(), "no-default-seed");
+}
+
+TEST(TmlintSarif, EmptyFindingsStillValidDocument)
+{
+    const json::Value doc = json::parse(sarifReport({}));
+    const auto &runs = doc.at("runs").asArray();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_TRUE(runs[0].at("results").asArray().empty());
 }
 
 // ---------------------------------------------------------------------

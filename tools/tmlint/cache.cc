@@ -1,0 +1,97 @@
+#include "cache.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace treadmill {
+namespace tmlint {
+
+IndexCache::IndexCache(std::string configKey) : key(std::move(configKey))
+{
+}
+
+void IndexCache::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        const json::Value doc = json::parse(buffer.str());
+        if (doc.intOr("version", -1) != kCacheVersion)
+            return;
+        if (doc.stringOr("config", "") != key)
+            return;
+        for (const auto &entry : doc.at("files").asObject()) {
+            Entry e;
+            e.hash = entry.second.at("hash").asString();
+            e.summary = summaryFromJson(entry.second.at("summary"));
+            entries[entry.first] = std::move(e);
+        }
+    } catch (...) {
+        // A corrupt cache is equivalent to no cache.
+        entries.clear();
+    }
+}
+
+bool IndexCache::save(const std::string &path) const
+{
+    json::Object files;
+    for (const auto &entry : entries) {
+        json::Object e;
+        e["hash"] = json::Value(entry.second.hash);
+        e["summary"] = summaryToJson(entry.second.summary);
+        files[entry.first] = json::Value(std::move(e));
+    }
+    json::Object doc;
+    doc["version"] = json::Value(kCacheVersion);
+    doc["config"] = json::Value(key);
+    doc["files"] = json::Value(std::move(files));
+
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << json::Value(std::move(doc)).dump() << "\n";
+    return static_cast<bool>(out);
+}
+
+const FileSummary *IndexCache::lookup(const std::string &normPath,
+                                      const std::string &contentHash) const
+{
+    auto it = entries.find(normPath);
+    if (it == entries.end() || it->second.hash != contentHash)
+        return nullptr;
+    return &it->second.summary;
+}
+
+void IndexCache::store(const std::string &normPath,
+                       const std::string &contentHash,
+                       const FileSummary &summary)
+{
+    entries[normPath] = Entry{contentHash, summary};
+}
+
+std::string IndexCache::hashContent(const std::string &content)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : content) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    char buf[17];
+    static const char digits[] = "0123456789abcdef";
+    for (int i = 15; i >= 0; --i) {
+        buf[i] = digits[h & 0xF];
+        h >>= 4;
+    }
+    buf[16] = '\0';
+    return std::string(buf);
+}
+
+} // namespace tmlint
+} // namespace treadmill

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Content-hash-keyed incremental index cache.
+ *
+ * The expensive half of a tmlint run is per-file: lexing plus symbol
+ * indexing. The cache stores each file's FileSummary keyed by a hash
+ * of its content; on a warm run, unchanged files deserialize their
+ * summary instead of re-indexing, while the global propagation passes
+ * (taint, guarded-by, hot-transitive, layering cycles) always re-run
+ * over every summary -- so a change in one file is automatically
+ * re-checked against its reverse-dependency closure without any
+ * dependency bookkeeping.
+ *
+ * The whole cache is invalidated by a version constant (bump
+ * kCacheVersion when summary shapes change) and by a caller-supplied
+ * configuration key, so stale entries can never leak across tool or
+ * config revisions.
+ */
+
+#ifndef TREADMILL_TOOLS_TMLINT_CACHE_H_
+#define TREADMILL_TOOLS_TMLINT_CACHE_H_
+
+#include <map>
+#include <string>
+
+#include "index.h"
+
+namespace treadmill {
+namespace tmlint {
+
+/** Bump when FileSummary serialization or rule semantics change. */
+constexpr int kCacheVersion = 1;
+
+class IndexCache
+{
+  public:
+    /** @p configKey invalidates the cache when the config changes. */
+    explicit IndexCache(std::string configKey);
+
+    /** Load entries from @p path; a missing or stale file (version or
+     *  config mismatch, malformed JSON) just yields an empty cache. */
+    void load(const std::string &path);
+
+    /** Persist all stored entries to @p path (atomic enough for CI:
+     *  write then rename is overkill for a cache, plain write). */
+    bool save(const std::string &path) const;
+
+    /** The cached summary for @p normPath if its content hash
+     *  matches, else nullptr. */
+    const FileSummary *lookup(const std::string &normPath,
+                              const std::string &contentHash) const;
+
+    /** Record @p summary for @p normPath at @p contentHash. */
+    void store(const std::string &normPath,
+               const std::string &contentHash,
+               const FileSummary &summary);
+
+    /** FNV-1a 64-bit hash of @p content, as a hex string. */
+    static std::string hashContent(const std::string &content);
+
+  private:
+    struct Entry {
+        std::string hash;
+        FileSummary summary;
+    };
+
+    std::string key;
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace tmlint
+} // namespace treadmill
+
+#endif // TREADMILL_TOOLS_TMLINT_CACHE_H_

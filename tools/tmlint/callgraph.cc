@@ -1,0 +1,231 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace treadmill {
+namespace tmlint {
+
+namespace {
+
+/** Resolution gives up beyond this many candidates: a name that
+ *  common (get, size, run) carries no call-graph information. */
+constexpr std::size_t kMaxCandidates = 6;
+
+} // namespace
+
+SymbolTable::SymbolTable(const std::vector<FileSummary> &summaries)
+    : all(summaries)
+{
+    for (std::size_t f = 0; f < all.size(); ++f) {
+        for (std::size_t i = 0; i < all[f].functions.size(); ++i) {
+            byName[all[f].functions[i].name].push_back(
+                {static_cast<int>(f), static_cast<int>(i)});
+        }
+        for (const auto &field : all[f].fields) {
+            if (!field.className.empty())
+                fieldsByClass[field.className][field.name] = &field;
+        }
+    }
+
+    resolved.resize(all.size());
+    for (std::size_t f = 0; f < all.size(); ++f) {
+        resolved[f].resize(all[f].functions.size());
+        for (std::size_t i = 0; i < all[f].functions.size(); ++i) {
+            const FuncIndex &fn = all[f].functions[i];
+            resolved[f][i].resize(fn.calls.size());
+            for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+                std::vector<FuncRef> targets =
+                    resolve(static_cast<int>(f), fn.calls[c]);
+                for (const FuncRef &t : targets) {
+                    reverse[t].push_back(
+                        {{static_cast<int>(f), static_cast<int>(i)},
+                         static_cast<int>(c)});
+                }
+                resolved[f][i][c] = std::move(targets);
+            }
+        }
+    }
+}
+
+std::vector<FuncRef> SymbolTable::resolve(int fromFile,
+                                          const CallInfo &call) const
+{
+    auto it = byName.find(call.callee);
+    if (it == byName.end())
+        return {};
+    std::vector<FuncRef> cands = it->second;
+
+    // A call can never target the same call site's own declaration of
+    // a different arity -- but we do not track arity reliably through
+    // defaulted parameters, so no arity filter here.
+
+    if (!call.qualifier.empty()) {
+        // `Class::fn(...)` or `module::fn(...)`.
+        std::vector<FuncRef> out;
+        for (const FuncRef &r : cands) {
+            if (func(r).className == call.qualifier ||
+                file(r).module == call.qualifier)
+                out.push_back(r);
+        }
+        if (out.size() > kMaxCandidates)
+            out.clear();
+        return out;
+    }
+
+    if (!call.receiver.empty()) {
+        // `m.find(key)` is almost always a standard-library container
+        // or sync primitive, not one of our methods that happens to
+        // share the name; resolving those by name floods the graph
+        // with false edges, so give up on them entirely.
+        static const std::set<std::string> stdMethods = {
+            "find",        "insert",      "erase",       "emplace",
+            "emplace_back", "push_back",  "pop_back",    "push_front",
+            "pop_front",   "push",        "pop",         "at",
+            "count",       "contains",    "begin",       "end",
+            "clear",       "size",        "empty",       "front",
+            "back",        "reserve",     "resize",      "swap",
+            "data",        "c_str",       "str",         "substr",
+            "append",      "assign",      "get",         "reset",
+            "release",     "lock",        "unlock",      "try_lock",
+            "wait",        "notify_one",  "notify_all",  "load",
+            "store",       "exchange",    "fetch_add",   "fetch_sub",
+            "insert_or_assign", "try_emplace", "shrink_to_fit", "top",
+        };
+        if (stdMethods.count(call.callee) != 0)
+            return {};
+        // Method call on an object: only member functions apply.
+        std::vector<FuncRef> methods;
+        for (const FuncRef &r : cands) {
+            if (!func(r).className.empty())
+                methods.push_back(r);
+        }
+        if (!methods.empty())
+            cands = std::move(methods);
+    }
+
+    std::vector<FuncRef> sameFile;
+    std::vector<FuncRef> sameModule;
+    for (const FuncRef &r : cands) {
+        if (r.file == fromFile)
+            sameFile.push_back(r);
+        else if (!all[fromFile].module.empty() &&
+                 file(r).module == all[fromFile].module)
+            sameModule.push_back(r);
+    }
+    if (!sameFile.empty())
+        return sameFile;
+    if (!sameModule.empty() && sameModule.size() <= kMaxCandidates)
+        return sameModule;
+    if (sameModule.empty() && cands.size() <= 2)
+        return cands;
+    return {};
+}
+
+const std::vector<CallerEdge> &SymbolTable::callers(FuncRef target) const
+{
+    static const std::vector<CallerEdge> empty;
+    auto it = reverse.find(target);
+    return it == reverse.end() ? empty : it->second;
+}
+
+const FieldIndex *SymbolTable::findField(const std::string &className,
+                                         const std::string &name) const
+{
+    auto cls = fieldsByClass.find(className);
+    if (cls == fieldsByClass.end())
+        return nullptr;
+    auto field = cls->second.find(name);
+    return field == cls->second.end() ? nullptr : field->second;
+}
+
+bool SymbolTable::classHasMutex(const std::string &className,
+                                const std::string &name) const
+{
+    const FieldIndex *field = findField(className, name);
+    return field != nullptr && field->isMutex;
+}
+
+std::vector<FuncRef> SymbolTable::allFunctions() const
+{
+    std::vector<FuncRef> out;
+    for (std::size_t f = 0; f < all.size(); ++f) {
+        for (std::size_t i = 0; i < all[f].functions.size(); ++i)
+            out.push_back({static_cast<int>(f), static_cast<int>(i)});
+    }
+    return out;
+}
+
+std::vector<Finding> checkHotTransitive(const SymbolTable &table,
+                                        const Config &cfg)
+{
+    static const char kRule[] = "hot-path-transitive";
+    std::vector<Finding> findings;
+    if (!cfg.ruleEnabled(kRule))
+        return findings;
+
+    // BFS from every lexically-hot function. visited maps each
+    // reached function to the call chain that discovered it (first
+    // visit wins; roots carry an empty chain and are never reported
+    // here -- their hot lines stay the token rule's business).
+    std::map<FuncRef, std::string> visited;
+    std::deque<std::pair<FuncRef, int>> queue;
+    for (const FuncRef &ref : table.allFunctions()) {
+        if (table.func(ref).hotLex) {
+            visited.emplace(ref, "");
+            queue.emplace_back(ref, 0);
+        }
+    }
+
+    while (!queue.empty()) {
+        const FuncRef from = queue.front().first;
+        const int depth = queue.front().second;
+        queue.pop_front();
+        if (depth >= cfg.hotTransitiveDepth)
+            continue;
+        const FuncIndex &fn = table.func(from);
+        for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+            if (table.file(from).allowedAt(kRule, fn.calls[c].line))
+                continue;
+            for (const FuncRef &t : table.targets(from, c)) {
+                if (visited.count(t) != 0)
+                    continue;
+                const FuncIndex &callee = table.func(t);
+                if (callee.cold || callee.isCtorDtor)
+                    continue;
+                std::string chain = visited[from];
+                if (chain.empty())
+                    chain = fn.displayName();
+                chain += " -> " + callee.displayName();
+                visited.emplace(t, std::move(chain));
+                queue.emplace_back(t, depth + 1);
+            }
+        }
+    }
+
+    for (const auto &entry : visited) {
+        if (entry.second.empty())
+            continue; // a root, not a discovered callee
+        const FuncIndex &fn = table.func(entry.first);
+        const FileSummary &file = table.file(entry.first);
+        for (const FactInfo &fact : fn.facts) {
+            if (fact.lexHot)
+                continue; // already the lexical rules' finding
+            if (file.allowedAt(kRule, fact.line))
+                continue;
+            findings.push_back(
+                {file.path, fact.line, kRule,
+                 "'" + fn.displayName() +
+                     "' is reachable from a hot-path region (" +
+                     entry.second + ") but uses '" + fact.token +
+                     "' (" + fact.rule +
+                     "); hoist the work off the steady-state path or "
+                     "mark the function '// tmlint:cold: why'"});
+        }
+    }
+    return findings;
+}
+
+} // namespace tmlint
+} // namespace treadmill

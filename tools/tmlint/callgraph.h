@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Whole-program symbol table, call resolution, and the transitive
+ * hot-path hygiene pass.
+ *
+ * Resolution is by name with tiered disambiguation (explicit
+ * qualifier, then same file, then same module, then a unique global
+ * match) and gives up rather than guess when a name is ambiguous
+ * across the tree -- an unresolved call simply ends the traversal,
+ * which keeps the hot-path closure an under-approximation instead of
+ * an avalanche of false positives.
+ */
+
+#ifndef TREADMILL_TOOLS_TMLINT_CALLGRAPH_H_
+#define TREADMILL_TOOLS_TMLINT_CALLGRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "index.h"
+
+namespace treadmill {
+namespace tmlint {
+
+/** Identifies one function: (index into files, index into functions). */
+struct FuncRef {
+    int file = -1;
+    int func = -1;
+
+    bool operator<(const FuncRef &other) const
+    {
+        return file != other.file ? file < other.file : func < other.func;
+    }
+    bool operator==(const FuncRef &other) const
+    {
+        return file == other.file && func == other.func;
+    }
+};
+
+/** A call site resolved to its possible targets. */
+struct CallerEdge {
+    FuncRef caller;
+    int call = 0; ///< index into caller's calls
+};
+
+/**
+ * Cross-file view over a set of FileSummaries: functions by name,
+ * fields by class, and every call site pre-resolved to its candidate
+ * targets (plus the reverse map).
+ */
+class SymbolTable
+{
+  public:
+    explicit SymbolTable(const std::vector<FileSummary> &summaries);
+
+    const std::vector<FileSummary> &files() const { return all; }
+    const FuncIndex &func(FuncRef ref) const
+    {
+        return all[ref.file].functions[ref.func];
+    }
+    const FileSummary &file(FuncRef ref) const { return all[ref.file]; }
+
+    /** Candidate targets of call @p call in function @p from. */
+    const std::vector<FuncRef> &targets(FuncRef from, int call) const
+    {
+        return resolved[from.file][from.func][call];
+    }
+
+    /** Call sites that may invoke @p target. */
+    const std::vector<CallerEdge> &callers(FuncRef target) const;
+
+    /** Field @p name of class @p className, or nullptr. */
+    const FieldIndex *findField(const std::string &className,
+                                const std::string &name) const;
+
+    /** True if class @p className has a mutex member named @p name. */
+    bool classHasMutex(const std::string &className,
+                       const std::string &name) const;
+
+    /** Every function, in deterministic (file, index) order. */
+    std::vector<FuncRef> allFunctions() const;
+
+  private:
+    std::vector<FuncRef> resolve(int fromFile,
+                                 const CallInfo &call) const;
+
+    const std::vector<FileSummary> &all;
+    std::map<std::string, std::vector<FuncRef>> byName;
+    std::map<std::string, std::map<std::string, const FieldIndex *>>
+        fieldsByClass;
+    /** resolved[file][func][call] -> candidate targets. */
+    std::vector<std::vector<std::vector<std::vector<FuncRef>>>> resolved;
+    std::map<FuncRef, std::vector<CallerEdge>> reverse;
+};
+
+/**
+ * The hot-path-transitive rule: walk call edges out of every function
+ * that intersects a lexical `tmlint:hot-path` region, up to the
+ * configured depth, and re-apply the hot-path hygiene facts
+ * (alloc/std::function/string/throw) to every function reached.
+ * `tmlint:cold`-marked callees and suppressed call sites prune the
+ * walk.
+ */
+std::vector<Finding> checkHotTransitive(const SymbolTable &table,
+                                        const Config &cfg);
+
+} // namespace tmlint
+} // namespace treadmill
+
+#endif // TREADMILL_TOOLS_TMLINT_CALLGRAPH_H_

@@ -34,10 +34,23 @@ const char *const kDefaultJson = R"CFG({
     "no-unordered-in-export": {
       "modules": ["analysis", "obs", "stats", "regress"]
     },
+    "determinism-taint": {
+      "sinks": ["dump", "dumpPretty", "encodeRunRecord", "toJson",
+                "spanJson", "chromeSpanJson", "chromeTraceJson",
+                "telemetryCsv", "chromeCounterJson",
+                "decompositionCsv", "renderProvenanceTable",
+                "provenanceToJson", "renderCoefficientTable",
+                "renderCdf", "renderDecompositionTable"]
+    },
+    "guarded-by": {},
+    "pool-lifetime": {},
     "hot-path-no-function": {},
     "hot-path-no-alloc": {},
     "hot-path-no-string": {},
     "hot-path-no-throw": {},
+    "hot-path-transitive": {
+      "depth": 3
+    },
     "layering": {
       "modules": {
         "util": [],
@@ -86,10 +99,14 @@ knownRules()
         "no-ambient-entropy",
         "no-default-seed",
         "no-unordered-in-export",
+        "determinism-taint",
+        "guarded-by",
+        "pool-lifetime",
         "hot-path-no-function",
         "hot-path-no-alloc",
         "hot-path-no-string",
         "hot-path-no-throw",
+        "hot-path-transitive",
         "layering",
         "layering-cycle",
         "tmlint-directive",
@@ -192,6 +209,19 @@ configFromValue(const json::Value &doc)
                                       "no-unordered-in-export.modules")) {
                 cfg.exportModules.insert(std::move(m));
             }
+        } else if (rule == "determinism-taint" &&
+                   body.contains("sinks")) {
+            for (auto &s : stringList(body.at("sinks"),
+                                      "determinism-taint.sinks")) {
+                cfg.taintSinks.insert(std::move(s));
+            }
+        } else if (rule == "hot-path-transitive" &&
+                   body.contains("depth")) {
+            cfg.hotTransitiveDepth =
+                static_cast<int>(body.at("depth").asInt());
+            if (cfg.hotTransitiveDepth < 1)
+                throw ConfigError("tmlint config: hot-path-transitive."
+                                  "depth must be >= 1");
         } else if (rule == "layering" && body.contains("modules")) {
             for (const auto &mod : body.at("modules").asObject()) {
                 cfg.layering[mod.first] =

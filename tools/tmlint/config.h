@@ -42,6 +42,15 @@ struct Config {
      *  Must form a DAG; loadConfig() rejects cycles. */
     std::map<std::string, std::vector<std::string>> layering;
 
+    /** Call names treated as export sinks by determinism-taint:
+     *  a value iterated out of an unordered container must not reach
+     *  any of these (as an argument or as the receiver). */
+    std::set<std::string> taintSinks;
+
+    /** Max call-chain depth explored by hot-path-transitive, counted
+     *  in edges from the lexically hot root function. */
+    int hotTransitiveDepth = 3;
+
     bool ruleEnabled(const std::string &rule) const
     {
         return disabled.find(rule) == disabled.end();

@@ -1,0 +1,338 @@
+#include "flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace treadmill {
+namespace tmlint {
+
+namespace {
+
+bool contains(const std::vector<std::string> &items,
+              const std::string &name)
+{
+    return std::find(items.begin(), items.end(), name) != items.end();
+}
+
+// ---- determinism taint ------------------------------------------------
+
+const char kTaintRule[] = "determinism-taint";
+
+/** Working state for one function during the taint fixpoint. */
+struct FuncFlow {
+    std::vector<std::vector<int>> out; ///< adjacency over nodes
+    std::vector<char> tainted;
+    std::vector<std::string> origin;
+    std::map<int, int> callRet;                     ///< call -> node
+    std::map<std::pair<int, int>, int> callArg;     ///< (call,arg)
+    std::map<std::pair<int, int>, int> callArgOut;  ///< (call,arg)
+    std::map<int, int> paramIn;                     ///< position
+    std::map<int, int> paramOut;                    ///< position
+};
+
+class TaintEngine
+{
+  public:
+    TaintEngine(const SymbolTable &symbolTable, const Config &config)
+        : table(symbolTable), cfg(config)
+    {
+    }
+
+    std::vector<Finding> run();
+
+  private:
+    FuncFlow &flow(FuncRef ref) { return state[ref.file][ref.func]; }
+
+    void mark(FuncRef ref, int node, const std::string &origin);
+    void sinkCheck(FuncRef ref, int call, const std::string &origin);
+
+    const SymbolTable &table;
+    const Config &cfg;
+    std::vector<std::vector<FuncFlow>> state;
+    std::deque<std::pair<FuncRef, int>> work;
+    std::vector<Finding> findings;
+    std::set<std::string> seen;
+};
+
+void TaintEngine::mark(FuncRef ref, int node, const std::string &origin)
+{
+    FuncFlow &ff = flow(ref);
+    if (node < 0 || ff.tainted[node])
+        return;
+    ff.tainted[node] = 1;
+    ff.origin[node] = origin;
+    work.emplace_back(ref, node);
+}
+
+void TaintEngine::sinkCheck(FuncRef ref, int call,
+                            const std::string &origin)
+{
+    const FuncIndex &fn = table.func(ref);
+    const CallInfo &site = fn.calls[call];
+    if (cfg.taintSinks.count(site.callee) == 0)
+        return;
+    const FileSummary &file = table.file(ref);
+    if (file.allowedAt(kTaintRule, site.line))
+        return;
+    const std::string key =
+        file.path + ":" + std::to_string(site.line) + ":" + site.callee;
+    if (!seen.insert(key).second)
+        return;
+    findings.push_back(
+        {file.path, site.line, kTaintRule,
+         "value derived from " + origin + " flows into export sink '" +
+             site.callee +
+             "'; unordered iteration order is implementation-defined "
+             "-- sort or copy into an ordered container before "
+             "exporting"});
+}
+
+std::vector<Finding> TaintEngine::run()
+{
+    if (!cfg.ruleEnabled(kTaintRule))
+        return {};
+
+    // Build per-function adjacency and node lookup tables.
+    const auto &files = table.files();
+    state.resize(files.size());
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        state[f].resize(files[f].functions.size());
+        for (std::size_t i = 0; i < files[f].functions.size(); ++i) {
+            const FuncIndex &fn = files[f].functions[i];
+            FuncFlow &ff = state[f][i];
+            ff.out.resize(fn.nodes.size());
+            ff.tainted.assign(fn.nodes.size(), 0);
+            ff.origin.resize(fn.nodes.size());
+            for (const auto &edge : fn.edges) {
+                if (edge.first >= 0 &&
+                    edge.first < static_cast<int>(fn.nodes.size()) &&
+                    edge.second >= 0 &&
+                    edge.second < static_cast<int>(fn.nodes.size()))
+                    ff.out[edge.first].push_back(edge.second);
+            }
+            for (std::size_t n = 0; n < fn.nodes.size(); ++n) {
+                const FlowNode &node = fn.nodes[n];
+                const int idx = static_cast<int>(n);
+                switch (node.kind) {
+                case FlowKind::CallRet:
+                    ff.callRet[node.call] = idx;
+                    break;
+                case FlowKind::CallArg:
+                    ff.callArg[{node.call, node.arg}] = idx;
+                    break;
+                case FlowKind::CallArgOut:
+                    ff.callArgOut[{node.call, node.arg}] = idx;
+                    break;
+                case FlowKind::ParamIn:
+                    ff.paramIn[node.arg] = idx;
+                    break;
+                case FlowKind::ParamOut:
+                    ff.paramOut[node.arg] = idx;
+                    break;
+                default:
+                    break;
+                }
+            }
+        }
+    }
+
+    // Seed: explicit Seed nodes (unordered locals/params) and Var
+    // nodes that name an unordered field of the enclosing class.
+    for (const FuncRef &ref : table.allFunctions()) {
+        const FuncIndex &fn = table.func(ref);
+        const FileSummary &file = table.file(ref);
+        for (std::size_t n = 0; n < fn.nodes.size(); ++n) {
+            const FlowNode &node = fn.nodes[n];
+            if (node.kind == FlowKind::Seed) {
+                mark(ref, static_cast<int>(n),
+                     "unordered container '" + node.name + "' (" +
+                         file.path + ":" + std::to_string(node.line) +
+                         ")");
+            } else if (node.kind == FlowKind::Var &&
+                       !fn.className.empty()) {
+                const FieldIndex *field =
+                    table.findField(fn.className, node.name);
+                if (field != nullptr && field->isUnordered) {
+                    mark(ref, static_cast<int>(n),
+                         "unordered field '" + fn.className +
+                             "::" + node.name + "'");
+                }
+            }
+        }
+    }
+
+    while (!work.empty()) {
+        const FuncRef ref = work.front().first;
+        const int nodeIdx = work.front().second;
+        work.pop_front();
+        const FuncIndex &fn = table.func(ref);
+        const FlowNode &node = fn.nodes[nodeIdx];
+        FuncFlow &ff = flow(ref);
+        const std::string origin = ff.origin[nodeIdx];
+
+        for (int to : ff.out[nodeIdx])
+            mark(ref, to, origin);
+
+        switch (node.kind) {
+        case FlowKind::Ret:
+            for (const CallerEdge &ce : table.callers(ref)) {
+                FuncFlow &cf = flow(ce.caller);
+                auto it = cf.callRet.find(ce.call);
+                if (it != cf.callRet.end())
+                    mark(ce.caller, it->second, origin);
+            }
+            break;
+        case FlowKind::CallArg:
+            sinkCheck(ref, node.call, origin);
+            for (const FuncRef &t : table.targets(ref, node.call)) {
+                FuncFlow &tf = flow(t);
+                auto it = tf.paramIn.find(node.arg);
+                if (it != tf.paramIn.end())
+                    mark(t, it->second, origin);
+            }
+            break;
+        case FlowKind::ParamOut:
+            for (const CallerEdge &ce : table.callers(ref)) {
+                FuncFlow &cf = flow(ce.caller);
+                auto it = cf.callArgOut.find({ce.call, node.arg});
+                if (it != cf.callArgOut.end())
+                    mark(ce.caller, it->second, origin);
+            }
+            break;
+        case FlowKind::Var:
+            // A tainted object dumped through a sink *method* taints
+            // the output: `value.dump()` with tainted `value`.
+            for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+                if (fn.calls[c].receiver == node.name)
+                    sinkCheck(ref, static_cast<int>(c), origin);
+            }
+            break;
+        default:
+            break;
+        }
+    }
+    return findings;
+}
+
+// ---- guarded-by -------------------------------------------------------
+
+const char kGuardRule[] = "guarded-by";
+
+} // namespace
+
+std::vector<Finding> checkTaint(const SymbolTable &table,
+                                const Config &cfg)
+{
+    TaintEngine engine(table, cfg);
+    return engine.run();
+}
+
+std::vector<Finding> checkGuards(const SymbolTable &table,
+                                 const Config &cfg)
+{
+    std::vector<Finding> findings;
+    if (!cfg.ruleEnabled(kGuardRule))
+        return findings;
+    std::set<std::string> seen;
+    const auto emit = [&](const FileSummary &file, int line,
+                          const std::string &message) {
+        if (file.allowedAt(kGuardRule, line))
+            return;
+        const std::string key =
+            file.path + ":" + std::to_string(line) + ":" + message;
+        if (!seen.insert(key).second)
+            return;
+        findings.push_back({file.path, line, kGuardRule, message});
+    };
+
+    // Annotation validation: a guard must name a real mutex member.
+    for (const FileSummary &file : table.files()) {
+        for (const FieldIndex &field : file.fields) {
+            for (const std::string &m : field.guardedBy) {
+                if (!table.classHasMutex(field.className, m)) {
+                    emit(file, field.line,
+                         "tm:guarded_by(" + m + ") on '" +
+                             field.className + "::" + field.name +
+                             "': class '" + field.className +
+                             "' has no mutex member named '" + m + "'");
+                }
+            }
+        }
+    }
+
+    for (const FuncRef &ref : table.allFunctions()) {
+        const FuncIndex &fn = table.func(ref);
+        const FileSummary &file = table.file(ref);
+        const auto held = [&](const std::vector<std::string> &locks,
+                              const std::string &m) {
+            return contains(locks, m) || contains(fn.requiresMutex, m);
+        };
+
+        if (!fn.className.empty() && !fn.isCtorDtor) {
+            for (const UseInfo &use : fn.uses) {
+                const FieldIndex *field =
+                    table.findField(fn.className, use.name);
+                if (field == nullptr || field->guardedBy.empty())
+                    continue;
+                for (const std::string &m : field->guardedBy) {
+                    if (held(use.heldLocks, m))
+                        continue;
+                    emit(file, use.line,
+                         "field '" + fn.className + "::" + use.name +
+                             "' is guarded by '" + m +
+                             "' (tm:guarded_by) but accessed without "
+                             "holding it; lock '" + m +
+                             "' or annotate the function '// "
+                             "tm:requires(" + m + ")'");
+                }
+            }
+        }
+
+        for (const GuardedVar &gv : fn.guardedLocals) {
+            for (const std::string &m : gv.mutexes) {
+                if (!contains(fn.localMutexes, m) &&
+                    !table.classHasMutex(fn.className, m)) {
+                    emit(file, gv.line,
+                         "tm:guarded_by(" + m + ") on local '" +
+                             gv.name + "': no mutex named '" + m +
+                             "' in scope");
+                }
+            }
+            for (const UseInfo &use : fn.uses) {
+                if (use.name != gv.name || use.line <= gv.line)
+                    continue;
+                for (const std::string &m : gv.mutexes) {
+                    if (held(use.heldLocks, m))
+                        continue;
+                    emit(file, use.line,
+                         "local '" + gv.name + "' is guarded by '" + m +
+                             "' (tm:guarded_by) but accessed without "
+                             "holding it");
+                }
+            }
+        }
+
+        if (!fn.isCtorDtor) {
+            for (std::size_t c = 0; c < fn.calls.size(); ++c) {
+                const CallInfo &call = fn.calls[c];
+                for (const FuncRef &t : table.targets(ref, c)) {
+                    const FuncIndex &callee = table.func(t);
+                    for (const std::string &m : callee.requiresMutex) {
+                        if (held(call.heldLocks, m))
+                            continue;
+                        emit(file, call.line,
+                             "call to '" + callee.displayName() +
+                                 "' requires holding '" + m +
+                                 "' (tm:requires) but no lock of it "
+                                 "is in scope at the call site");
+                    }
+                }
+            }
+        }
+    }
+    return findings;
+}
+
+} // namespace tmlint
+} // namespace treadmill

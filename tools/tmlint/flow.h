@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Inter-procedural propagation passes over the summary graph.
+ *
+ * checkTaint() runs a context-insensitive worklist fixpoint: taint
+ * seeds (unordered-container iteration/reads) propagate along each
+ * function's local flow edges, jump call boundaries through return
+ * values, parameters, and out-parameter write-backs, and report when
+ * a tainted value reaches a configured export sink. checkGuards()
+ * enforces `tm:guarded_by` annotations: every use of a guarded field
+ * or local must be lexically dominated by a lock of the named mutex,
+ * or sit in a function annotated `tm:requires` of it; call sites of
+ * `tm:requires` functions are checked symmetrically.
+ */
+
+#ifndef TREADMILL_TOOLS_TMLINT_FLOW_H_
+#define TREADMILL_TOOLS_TMLINT_FLOW_H_
+
+#include "callgraph.h"
+#include "config.h"
+#include "index.h"
+
+namespace treadmill {
+namespace tmlint {
+
+/** The determinism-taint rule. */
+std::vector<Finding> checkTaint(const SymbolTable &table,
+                                const Config &cfg);
+
+/** The guarded-by lock-discipline rule. */
+std::vector<Finding> checkGuards(const SymbolTable &table,
+                                 const Config &cfg);
+
+} // namespace tmlint
+} // namespace treadmill
+
+#endif // TREADMILL_TOOLS_TMLINT_FLOW_H_

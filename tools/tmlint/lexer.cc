@@ -1,6 +1,7 @@
 #include "lexer.h"
 
 #include <cctype>
+#include <cstring>
 
 namespace treadmill {
 namespace tmlint {
@@ -53,10 +54,12 @@ class Cursor
     void skipString();
     void skipRawString();
     void skipCharLit();
+    void skipLiteralSuffix();
     void lexNumber();
     void lexIdentifier();
     void lexPreprocessor();
     void parseDirectives(const std::string &comment, int commentLine);
+    void parseAnnotations(const std::string &comment, int commentLine);
     std::set<std::string> parseRuleList(const std::string &body,
                                         int commentLine);
     void emit(TokKind kind, std::string text, int tokLine)
@@ -100,6 +103,7 @@ Cursor::run()
             continue;
         }
         if (c == 'R' && peek(1) == '"') {
+            advance(); // 'R'
             skipRawString();
             continue;
         }
@@ -172,6 +176,19 @@ Cursor::skipBlockComment()
     parseDirectives(text, commentLine);
 }
 
+/**
+ * Consume a user-defined-literal suffix glued to the literal that was
+ * just skipped ("10ms"_d, 'x'_c, R"(..)"_sv). The suffix is part of
+ * the literal token; letting it leak as an identifier would hand rule
+ * heuristics names that were never written as code.
+ */
+void
+Cursor::skipLiteralSuffix()
+{
+    while (!done() && isIdentChar(peek()))
+        advance();
+}
+
 void
 Cursor::skipString()
 {
@@ -186,14 +203,15 @@ Cursor::skipString()
         if (c == '"' || c == '\n')
             break; // unterminated-at-newline: recover at the newline
     }
+    skipLiteralSuffix();
     emit(TokKind::String, "", tokLine);
 }
 
+/** Skip a raw string whose cursor sits on the '"' after the R prefix. */
 void
 Cursor::skipRawString()
 {
     const int tokLine = line;
-    advance(); // 'R'
     advance(); // '"'
     std::string delim;
     while (!done() && peek() != '(')
@@ -209,6 +227,7 @@ Cursor::skipRawString()
         }
         advance();
     }
+    skipLiteralSuffix();
     emit(TokKind::String, "", tokLine);
 }
 
@@ -226,6 +245,7 @@ Cursor::skipCharLit()
         if (c == '\'' || c == '\n')
             break;
     }
+    skipLiteralSuffix();
     emit(TokKind::CharLit, "", tokLine);
 }
 
@@ -236,8 +256,10 @@ Cursor::lexNumber()
     std::string text;
     while (!done()) {
         const char c = peek();
+        // '_' admits ud-suffixes (1.5_s); '\'' admits C++14 digit
+        // separators in every radix (1'000'000, 0xdead'beef).
         if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
-            c == '\'') {
+            c == '\'' || c == '_') {
             text.push_back(advance());
             continue;
         }
@@ -254,6 +276,17 @@ Cursor::lexNumber()
     emit(TokKind::Number, std::move(text), tokLine);
 }
 
+namespace {
+
+/** Encoding prefixes that glue onto a string or character literal. */
+bool
+isEncodingPrefix(const std::string &text)
+{
+    return text == "u8" || text == "u" || text == "U" || text == "L";
+}
+
+} // namespace
+
 void
 Cursor::lexIdentifier()
 {
@@ -261,6 +294,26 @@ Cursor::lexIdentifier()
     std::string text;
     while (!done() && isIdentChar(peek()))
         text.push_back(advance());
+
+    // An "identifier" that is really the encoding prefix of a literal:
+    // u8"..." / L'...' / u8R"x(...)x" and friends. Without this, the
+    // cooked-string skipper stops at the first '"' inside a prefixed
+    // raw string and its contents leak into the identifier stream.
+    if (peek() == '"') {
+        if (isEncodingPrefix(text)) {
+            skipString();
+            return;
+        }
+        if (text.size() >= 2 && text.back() == 'R' &&
+            isEncodingPrefix(text.substr(0, text.size() - 1))) {
+            skipRawString();
+            return;
+        }
+    }
+    if (peek() == '\'' && isEncodingPrefix(text)) {
+        skipCharLit();
+        return;
+    }
     emit(TokKind::Identifier, std::move(text), tokLine);
 }
 
@@ -397,9 +450,77 @@ Cursor::parseRuleList(const std::string &body, int commentLine)
     return out;
 }
 
+/**
+ * Scan a comment for the tm: semantic annotations. Unlike tmlint:
+ * directives these carry meaning for the symbol indexer (which mutex
+ * guards a field, which mutex a function requires of its callers)
+ * rather than controlling the linter itself.
+ */
+void
+Cursor::parseAnnotations(const std::string &comment, int commentLine)
+{
+    static const struct {
+        const char *marker;
+        bool guards; // true: guarded_by, false: requires
+    } kAnnotations[] = {{"tm:guarded_by(", true}, {"tm:requires(", false}};
+
+    for (const auto &ann : kAnnotations) {
+        std::size_t at = comment.find(ann.marker);
+        while (at != std::string::npos) {
+            const std::size_t open = at + std::strlen(ann.marker);
+            const std::size_t close = comment.find(')', open);
+            if (close == std::string::npos) {
+                result.directiveErrors.push_back(
+                    {commentLine, std::string("unterminated ") +
+                                      ann.marker + "...) annotation"});
+                return;
+            }
+            std::vector<std::string> names;
+            std::string cur;
+            for (std::size_t i = open; i <= close; ++i) {
+                const char c = i < close ? comment[i] : ',';
+                if (isIdentChar(c)) {
+                    cur.push_back(c);
+                } else if (c == ',' || c == ' ') {
+                    if (!cur.empty())
+                        names.push_back(cur);
+                    cur.clear();
+                }
+            }
+            if (names.empty()) {
+                result.directiveErrors.push_back(
+                    {commentLine, std::string(ann.marker) +
+                                      ") names no mutex"});
+            }
+            auto &dest = ann.guards ? result.guardedBy
+                                    : result.requiresLock;
+            auto &list = dest[commentLine];
+            list.insert(list.end(), names.begin(), names.end());
+            at = comment.find(ann.marker, close);
+        }
+    }
+}
+
+/** True when @p comment carries a ": reason" starting at @p i. */
+bool
+hasReason(const std::string &comment, std::size_t i)
+{
+    while (i < comment.size() && comment[i] == ' ')
+        ++i;
+    if (i >= comment.size() || comment[i] != ':')
+        return false;
+    for (++i; i < comment.size(); ++i) {
+        if (!std::isspace(static_cast<unsigned char>(comment[i])))
+            return true;
+    }
+    return false;
+}
+
 void
 Cursor::parseDirectives(const std::string &comment, int commentLine)
 {
+    parseAnnotations(comment, commentLine);
+
     const std::string marker = "tmlint:";
     std::size_t at = comment.find(marker);
     while (at != std::string::npos) {
@@ -427,6 +548,14 @@ Cursor::parseDirectives(const std::string &comment, int commentLine)
                 result.hotRegions.emplace_back(openHotBegin, commentLine);
                 openHotBegin = 0;
             }
+        } else if (word == "cold") {
+            if (!hasReason(comment, i)) {
+                result.directiveErrors.push_back(
+                    {commentLine,
+                     "tmlint:cold needs a ': why' reason (why is this "
+                     "function off the steady-state path?)"});
+            }
+            result.coldLines.insert(commentLine);
         } else if (word == "allow" || word == "allow-next-line" ||
                    word == "allow-file") {
             std::set<std::string> names;
@@ -440,6 +569,13 @@ Cursor::parseDirectives(const std::string &comment, int commentLine)
                 } else {
                     names = parseRuleList(
                         comment.substr(i + 1, close - i - 1), commentLine);
+                    if (!hasReason(comment, close + 1)) {
+                        result.directiveErrors.push_back(
+                            {commentLine,
+                             "tmlint:" + word +
+                                 " needs a ': why' reason after the "
+                                 "rule list"});
+                    }
                     i = close + 1;
                 }
             } else {

@@ -20,6 +20,19 @@
  *   // tmlint:allow(rule-a,rule-b): why    suppress on this line
  *   // tmlint:allow-next-line(rule): why   suppress on the next line
  *   // tmlint:allow-file(rule): why        suppress in the whole file
+ *   // tmlint:cold: why                    enclosing function is a slow
+ *                                          path; hot-path-transitive
+ *                                          stops following calls into it
+ *
+ * and for the semantic annotations consumed by the symbol indexer:
+ *
+ *   // tm:guarded_by(mu_)     the field/local declared on this line (or
+ *                             the next) is protected by mutex mu_
+ *   // tm:requires(mu_)       the function declared on this line (or
+ *                             the next) asserts its callers hold mu_
+ *
+ * Every allow() and cold directive must carry a ": why" reason; a bare
+ * suppression is itself a DirectiveError.
  */
 
 #ifndef TREADMILL_TOOLS_TMLINT_LEXER_H_
@@ -77,6 +90,13 @@ struct LexedFile {
     std::map<int, std::set<std::string>> lineAllows;
     /** Rule names suppressed across the whole file. */
     std::set<std::string> fileAllows;
+
+    /** line -> mutex names from tm:guarded_by(...) on that line. */
+    std::map<int, std::vector<std::string>> guardedBy;
+    /** line -> mutex names from tm:requires(...) on that line. */
+    std::map<int, std::vector<std::string>> requiresLock;
+    /** Lines carrying a `tmlint:cold: why` marker. */
+    std::set<int> coldLines;
 
     std::vector<DirectiveError> directiveErrors;
 

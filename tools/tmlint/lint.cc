@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "cache.h"
+#include "callgraph.h"
+#include "flow.h"
+#include "symbols.h"
 #include "util/strings.h"
 
 namespace treadmill {
@@ -116,14 +120,14 @@ formatFinding(const Finding &f)
 Linter::Linter(Config config) : cfg(std::move(config)) {}
 
 void
-Linter::report(const LexedFile &lexed, const std::string &path, int line,
+Linter::report(FileSummary &sum, const LexedFile &lexed, int line,
                const std::string &rule, const std::string &message)
 {
     if (!cfg.ruleEnabled(rule))
         return;
     if (lexed.allowed(rule, line))
         return;
-    findings.push_back({path, line, rule, message});
+    sum.localFindings.push_back({sum.path, line, rule, message});
 }
 
 void
@@ -131,20 +135,43 @@ Linter::lintFile(const std::string &path, const std::string &content)
 {
     ++filesSeen;
     const std::string norm = normalizeRepoPath(path);
-    const std::string module = moduleOfPath(norm);
+
+    std::string hash;
+    if (indexCache != nullptr) {
+        hash = IndexCache::hashContent(content);
+        if (const FileSummary *hit = indexCache->lookup(norm, hash)) {
+            summaries.push_back(*hit);
+            ++cached;
+            return;
+        }
+    }
+    ++analyzed;
+
+    FileSummary sum;
+    sum.path = norm;
+    sum.module = moduleOfPath(norm);
+
     const LexedFile lexed = lex(content, knownRules());
+    sum.lineAllows = lexed.lineAllows;
+    sum.fileAllows = lexed.fileAllows;
 
     for (const auto &err : lexed.directiveErrors)
-        report(lexed, norm, err.line, "tmlint-directive", err.message);
+        report(sum, lexed, err.line, "tmlint-directive", err.message);
 
-    checkTokens(norm, module, lexed);
-    checkIncludes(norm, module, lexed);
+    checkTokens(sum, lexed);
+    checkIncludes(sum, lexed);
+    indexSymbols(lexed, sum);
+
+    if (indexCache != nullptr)
+        indexCache->store(norm, hash, sum);
+    summaries.push_back(std::move(sum));
 }
 
 void
-Linter::checkTokens(const std::string &path, const std::string &module,
-                    const LexedFile &lexed)
+Linter::checkTokens(FileSummary &sum, const LexedFile &lexed)
 {
+    const std::string &path = sum.path;
+    const std::string &module = sum.module;
     const bool clockExempt = pathAllowed(path, cfg.wallclockAllow);
     const bool entropyExempt = pathAllowed(path, cfg.entropyAllow);
     const bool exportModule =
@@ -170,7 +197,7 @@ Linter::checkTokens(const std::string &path, const std::string &module,
 
         // ---- determinism: wall-clock reads ------------------------
         if (!clockExempt && isClockIdent(t.text)) {
-            report(lexed, path, t.line, "no-wallclock",
+            report(sum, lexed, t.line, "no-wallclock",
                    "'" + t.text +
                        "' reads host time; simulator code must derive "
                        "time from sim::Simulation::now()");
@@ -192,7 +219,7 @@ Linter::checkTokens(const std::string &path, const std::string &module,
                                    arg == "&";
             if ((prev == "::" && qualifiedStd) ||
                 (prev != "::" && libcShape)) {
-                report(lexed, path, t.line, "no-wallclock",
+                report(sum, lexed, t.line, "no-wallclock",
                        "'" + t.text +
                            "()' reads host time; use the simulated "
                            "clock instead");
@@ -201,7 +228,7 @@ Linter::checkTokens(const std::string &path, const std::string &module,
 
         // ---- determinism: ambient entropy -------------------------
         if (!entropyExempt && isEntropyIdent(t.text)) {
-            report(lexed, path, t.line, "no-ambient-entropy",
+            report(sum, lexed, t.line, "no-ambient-entropy",
                    "'" + t.text +
                        "' injects nondeterminism; derive randomness "
                        "from a seeded util::Rng substream");
@@ -217,7 +244,7 @@ Linter::checkTokens(const std::string &path, const std::string &module,
             const bool callShape = text(i + 2) == ")";
             if ((prev == "::" && qualifiedStd) ||
                 (prev != "::" && callShape)) {
-                report(lexed, path, t.line, "no-ambient-entropy",
+                report(sum, lexed, t.line, "no-ambient-entropy",
                        "'rand()' is seeded by global state; use a "
                        "seeded util::Rng substream");
             }
@@ -231,7 +258,7 @@ Linter::checkTokens(const std::string &path, const std::string &module,
             const bool defaultSeeded =
                 after == ";" || (after == "{" && text(i + 3) == "}");
             if (defaultSeeded) {
-                report(lexed, path, t.line, "no-default-seed",
+                report(sum, lexed, t.line, "no-default-seed",
                        "'std::" + t.text + " " + text(i + 1) +
                            "' is default-seeded and thus identical in "
                            "every run but divergent across standard "
@@ -241,7 +268,7 @@ Linter::checkTokens(const std::string &path, const std::string &module,
 
         // ---- determinism hazard: unordered containers -------------
         if (exportModule && isUnorderedIdent(t.text)) {
-            report(lexed, path, t.line, "no-unordered-in-export",
+            report(sum, lexed, t.line, "no-unordered-in-export",
                    "'" + t.text + "' in module '" + module +
                        "' feeds exported results; iteration order is "
                        "implementation-defined -- use std::map, a "
@@ -255,17 +282,17 @@ Linter::checkTokens(const std::string &path, const std::string &module,
 
         if (t.text == "function" && prev == "::" && i >= 2 &&
             isIdent(i - 2, "std")) {
-            report(lexed, path, t.line, "hot-path-no-function",
+            report(sum, lexed, t.line, "hot-path-no-function",
                    "std::function allocates and indirect-calls on the "
                    "steady-state path; use util::InlineFunction");
         }
         if (t.text == "new" && prev != "operator") {
-            report(lexed, path, t.line, "hot-path-no-alloc",
+            report(sum, lexed, t.line, "hot-path-no-alloc",
                    "'new' on the steady-state path; recycle through "
                    "util::Pool / util::RawPool instead");
         }
         if (t.text == "make_unique" || t.text == "make_shared") {
-            report(lexed, path, t.line, "hot-path-no-alloc",
+            report(sum, lexed, t.line, "hot-path-no-alloc",
                    "'" + t.text +
                        "' allocates on the steady-state path; recycle "
                        "through util::Pool / util::RawPool instead");
@@ -280,7 +307,7 @@ Linter::checkTokens(const std::string &path, const std::string &module,
                 (i + 1 < toks.size() &&
                  toks[i + 1].kind == TokKind::Identifier);
             if (constructs) {
-                report(lexed, path, t.line, "hot-path-no-string",
+                report(sum, lexed, t.line, "hot-path-no-string",
                        "std::string construction on the steady-state "
                        "path; keep keys/payloads pooled or "
                        "preallocated");
@@ -289,13 +316,13 @@ Linter::checkTokens(const std::string &path, const std::string &module,
         if ((t.text == "to_string" && prev == "::" && i >= 2 &&
              isIdent(i - 2, "std")) ||
             t.text == "strprintf") {
-            report(lexed, path, t.line, "hot-path-no-string",
+            report(sum, lexed, t.line, "hot-path-no-string",
                    "'" + t.text +
                        "' builds a std::string on the steady-state "
                        "path; format at report time instead");
         }
         if (t.text == "throw") {
-            report(lexed, path, t.line, "hot-path-no-throw",
+            report(sum, lexed, t.line, "hot-path-no-throw",
                    "throwing on the steady-state path; validate "
                    "configuration at setup time (ConfigError belongs "
                    "in constructors)");
@@ -304,9 +331,10 @@ Linter::checkTokens(const std::string &path, const std::string &module,
 }
 
 void
-Linter::checkIncludes(const std::string &path, const std::string &module,
-                      const LexedFile &lexed)
+Linter::checkIncludes(FileSummary &sum, const LexedFile &lexed)
 {
+    const std::string &path = sum.path;
+    const std::string &module = sum.module;
     if (module.empty())
         return;
 
@@ -319,7 +347,7 @@ Linter::checkIncludes(const std::string &path, const std::string &module,
         if (exportModule && !inc.quoted &&
             (inc.target == "unordered_map" ||
              inc.target == "unordered_set")) {
-            report(lexed, path, inc.line, "no-unordered-in-export",
+            report(sum, lexed, inc.line, "no-unordered-in-export",
                    "#include <" + inc.target + "> in module '" + module +
                        "': iteration order can leak into exported "
                        "results");
@@ -343,13 +371,11 @@ Linter::checkIncludes(const std::string &path, const std::string &module,
             continue; // not one of ours
 
         // Record the observed edge for the whole-graph cycle check.
-        auto &edges = moduleGraph[module];
-        if (edges.find(to) == edges.end())
-            edges[to] = IncludeEdge{path, inc.line, to};
+        sum.moduleIncludes.emplace_back(to, inc.line);
 
         if (std::find(allowed.begin(), allowed.end(), to) ==
             allowed.end()) {
-            report(lexed, path, inc.line, "layering",
+            report(sum, lexed, inc.line, "layering",
                    "module '" + module + "' may not include '" +
                        inc.target + "': allowed dependencies are {" +
                        join(allowed, ", ") +
@@ -361,6 +387,31 @@ Linter::checkIncludes(const std::string &path, const std::string &module,
 std::vector<Finding>
 Linter::finish()
 {
+    // Replay per-file findings (token rules, pool lifetime, layering
+    // allowlist). Cache hits carry theirs inside the stored summary;
+    // the disabled-rule filter re-applies here because the symbol
+    // indexer records pool-lifetime findings unconditionally.
+    for (const FileSummary &sum : summaries) {
+        for (const Finding &f : sum.localFindings) {
+            if (cfg.ruleEnabled(f.rule))
+                findings.push_back(f);
+        }
+    }
+
+    // Rebuild the observed module graph from the summaries (first
+    // edge per module pair wins, deterministic given sorted input).
+    std::map<std::string, std::map<std::string, IncludeEdge>> moduleGraph;
+    for (const FileSummary &sum : summaries) {
+        if (cfg.layering.find(sum.module) == cfg.layering.end())
+            continue;
+        auto &edges = moduleGraph[sum.module];
+        for (const auto &inc : sum.moduleIncludes) {
+            if (edges.find(inc.first) == edges.end())
+                edges[inc.first] =
+                    IncludeEdge{sum.path, inc.second, inc.first};
+        }
+    }
+
     // Cycle check over the *observed* graph. This is deliberately
     // independent of the allowlist check: even if the config were
     // loosened edge by edge, an include cycle is reported.
@@ -371,6 +422,8 @@ Linter::finish()
 
         struct Dfs {
             Linter &lint;
+            std::map<std::string, std::map<std::string, IncludeEdge>>
+                &graph;
             std::map<std::string, Mark> &mark;
             std::vector<std::string> &stack;
 
@@ -378,7 +431,7 @@ Linter::finish()
             {
                 mark[node] = Mark::Grey;
                 stack.push_back(node);
-                for (const auto &edge : lint.moduleGraph[node]) {
+                for (const auto &edge : graph[node]) {
                     const std::string &to = edge.first;
                     if (mark[to] == Mark::Grey) {
                         std::string cycle;
@@ -403,12 +456,24 @@ Linter::finish()
             }
         };
 
-        Dfs dfs{*this, mark, stack};
+        Dfs dfs{*this, moduleGraph, mark, stack};
         for (const auto &entry : moduleGraph) {
             if (mark[entry.first] == Mark::White)
                 dfs.visit(entry.first);
         }
     }
+
+    // Whole-program semantic passes over the collected summaries.
+    // These always run in full -- they are cheap relative to
+    // lexing/indexing, and running them globally is what lets a cached
+    // run still re-check cross-file invariants against changed files.
+    const SymbolTable table(summaries);
+    for (auto &f : checkTaint(table, cfg))
+        findings.push_back(std::move(f));
+    for (auto &f : checkGuards(table, cfg))
+        findings.push_back(std::move(f));
+    for (auto &f : checkHotTransitive(table, cfg))
+        findings.push_back(std::move(f));
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

@@ -2,12 +2,17 @@
  * @file
  * The tmlint rule engine.
  *
- * Feed files to a Linter one at a time; token-level rules (determinism,
- * hot-path hygiene, unordered containers) report immediately, while the
- * layering rule accumulates the observed module include graph and emits
- * upward-include and cycle findings in finish(). Findings come back
- * sorted (file, line, rule) so output is deterministic regardless of
- * the order files were fed in.
+ * Linting is two-phase. Phase one (lintFile) is per-file: lex, run the
+ * token-level rules (determinism, hot-path hygiene, unordered
+ * containers, include layering), and index symbols into a FileSummary.
+ * This phase is the expensive one and is skipped for unchanged files
+ * when an IndexCache is attached -- a cache hit replays the stored
+ * summary, local findings included. Phase two (finish) is
+ * whole-program and always runs: the layering cycle check, the
+ * determinism-taint propagation, the guarded-by lock-discipline check,
+ * and the transitive hot-path pass, all over the collected summaries.
+ * Findings come back sorted (file, line, rule) so output is
+ * deterministic regardless of the order files were fed in.
  */
 
 #ifndef TREADMILL_TOOLS_TMLINT_LINT_H_
@@ -18,18 +23,13 @@
 #include <vector>
 
 #include "config.h"
+#include "index.h"
 #include "lexer.h"
 
 namespace treadmill {
 namespace tmlint {
 
-/** One rule violation. */
-struct Finding {
-    std::string file; ///< repo-relative path
-    int line;         ///< 1-based; 0 for whole-graph findings
-    std::string rule;
-    std::string message;
-};
+class IndexCache;
 
 /** Render a finding as "file:line: [rule] message". */
 std::string formatFinding(const Finding &f);
@@ -39,8 +39,12 @@ class Linter
   public:
     explicit Linter(Config config);
 
+    /** Reuse/store per-file summaries in @p cache (not owned; may be
+     *  nullptr). Attach before the first lintFile call. */
+    void attachCache(IndexCache *cache) { indexCache = cache; }
+
     /**
-     * Lint one file.
+     * Lint one file (phase one).
      *
      * @param path Repo-relative path with forward slashes (absolute
      *             paths are normalized to their "src/..." suffix).
@@ -48,11 +52,16 @@ class Linter
      */
     void lintFile(const std::string &path, const std::string &content);
 
-    /** Finish the run: layering cycle check, then sorted findings. */
+    /** Finish the run (phase two): whole-program passes over the
+     *  collected summaries, then sorted findings. */
     std::vector<Finding> finish();
 
     /** Files fed so far (for the driver's summary line). */
     std::size_t fileCount() const { return filesSeen; }
+    /** Files actually lexed+indexed this run (cache misses). */
+    std::size_t analyzedCount() const { return analyzed; }
+    /** Files replayed from the incremental cache. */
+    std::size_t cachedCount() const { return cached; }
 
   private:
     struct IncludeEdge {
@@ -61,18 +70,18 @@ class Linter
         std::string toModule;
     };
 
-    void checkTokens(const std::string &path, const std::string &module,
-                     const LexedFile &lexed);
-    void checkIncludes(const std::string &path, const std::string &module,
-                       const LexedFile &lexed);
-    void report(const LexedFile &lexed, const std::string &path, int line,
+    void checkTokens(FileSummary &sum, const LexedFile &lexed);
+    void checkIncludes(FileSummary &sum, const LexedFile &lexed);
+    void report(FileSummary &sum, const LexedFile &lexed, int line,
                 const std::string &rule, const std::string &message);
 
     Config cfg;
+    std::vector<FileSummary> summaries;
     std::vector<Finding> findings;
-    /** fromModule -> toModule -> first include edge seen. */
-    std::map<std::string, std::map<std::string, IncludeEdge>> moduleGraph;
+    IndexCache *indexCache = nullptr;
     std::size_t filesSeen = 0;
+    std::size_t analyzed = 0;
+    std::size_t cached = 0;
 };
 
 /**

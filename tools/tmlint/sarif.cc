@@ -1,0 +1,130 @@
+#include "sarif.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/json.h"
+
+namespace treadmill {
+namespace tmlint {
+
+namespace {
+
+/** One-line rule descriptions for the SARIF rule table. */
+const std::map<std::string, std::string> &ruleDescriptions()
+{
+    static const std::map<std::string, std::string> table = {
+        {"no-wallclock",
+         "Simulator code must not read host time"},
+        {"no-ambient-entropy",
+         "Randomness must come from a seeded util::Rng substream"},
+        {"no-default-seed",
+         "Random engines must be explicitly seeded"},
+        {"no-unordered-in-export",
+         "Unordered containers are banned in export-facing modules"},
+        {"determinism-taint",
+         "Values read out of unordered containers must not flow into "
+         "export sinks"},
+        {"guarded-by",
+         "tm:guarded_by fields/locals must be accessed under their "
+         "mutex"},
+        {"pool-lifetime",
+         "Pool handles must not be used after release, and pooled "
+         "references must not escape"},
+        {"hot-path-no-function",
+         "No std::function inside hot-path regions"},
+        {"hot-path-no-alloc",
+         "No heap allocation inside hot-path regions"},
+        {"hot-path-no-string",
+         "No std::string construction inside hot-path regions"},
+        {"hot-path-no-throw",
+         "No throw inside hot-path regions"},
+        {"hot-path-transitive",
+         "Hot-path hygiene applies to every function reachable from a "
+         "hot-path region"},
+        {"layering",
+         "Module includes must follow the configured dependency DAG"},
+        {"layering-cycle", "Module include graph must stay acyclic"},
+        {"tmlint-directive",
+         "tmlint control directives must be well-formed"},
+    };
+    return table;
+}
+
+} // namespace
+
+std::string sarifReport(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> ruleIds;
+    for (const Finding &f : findings) {
+        if (std::find(ruleIds.begin(), ruleIds.end(), f.rule) ==
+            ruleIds.end())
+            ruleIds.push_back(f.rule);
+    }
+    std::sort(ruleIds.begin(), ruleIds.end());
+    std::map<std::string, int> ruleIndex;
+
+    json::Array rules;
+    for (const std::string &id : ruleIds) {
+        ruleIndex[id] = static_cast<int>(rules.size());
+        json::Object rule;
+        rule["id"] = json::Value(id);
+        auto it = ruleDescriptions().find(id);
+        json::Object text;
+        text["text"] = json::Value(it != ruleDescriptions().end()
+                                       ? it->second
+                                       : std::string("tmlint rule"));
+        rule["shortDescription"] = json::Value(std::move(text));
+        rules.push_back(json::Value(std::move(rule)));
+    }
+
+    json::Array results;
+    for (const Finding &f : findings) {
+        json::Object result;
+        result["ruleId"] = json::Value(f.rule);
+        result["ruleIndex"] = json::Value(ruleIndex[f.rule]);
+        result["level"] = json::Value("error");
+        json::Object message;
+        message["text"] = json::Value(f.message);
+        result["message"] = json::Value(std::move(message));
+
+        json::Object artifact;
+        artifact["uri"] = json::Value(f.file);
+        artifact["uriBaseId"] = json::Value("SRCROOT");
+        json::Object region;
+        region["startLine"] = json::Value(f.line > 0 ? f.line : 1);
+        json::Object physical;
+        physical["artifactLocation"] = json::Value(std::move(artifact));
+        physical["region"] = json::Value(std::move(region));
+        json::Object location;
+        location["physicalLocation"] = json::Value(std::move(physical));
+        json::Array locations;
+        locations.push_back(json::Value(std::move(location)));
+        result["locations"] = json::Value(std::move(locations));
+        results.push_back(json::Value(std::move(result)));
+    }
+
+    json::Object driver;
+    driver["name"] = json::Value("tmlint");
+    driver["informationUri"] =
+        json::Value("https://example.invalid/treadmill/tmlint");
+    driver["version"] = json::Value("2.0.0");
+    driver["rules"] = json::Value(std::move(rules));
+    json::Object tool;
+    tool["driver"] = json::Value(std::move(driver));
+    json::Object run;
+    run["tool"] = json::Value(std::move(tool));
+    run["results"] = json::Value(std::move(results));
+    json::Array runs;
+    runs.push_back(json::Value(std::move(run)));
+
+    json::Object doc;
+    doc["$schema"] =
+        json::Value("https://json.schemastore.org/sarif-2.1.0.json");
+    doc["version"] = json::Value("2.1.0");
+    doc["runs"] = json::Value(std::move(runs));
+    return json::Value(std::move(doc)).dumpPretty();
+}
+
+} // namespace tmlint
+} // namespace treadmill

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering of tmlint findings.
+ *
+ * One run, one driver ("tmlint"), one result per finding, each with a
+ * physical location suitable for GitHub code-scanning annotations.
+ * The output is deterministic: rules are listed sorted by id and
+ * results in the (already sorted) finding order.
+ */
+
+#ifndef TREADMILL_TOOLS_TMLINT_SARIF_H_
+#define TREADMILL_TOOLS_TMLINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "index.h"
+
+namespace treadmill {
+namespace tmlint {
+
+/** Render @p findings as a SARIF 2.1.0 document (pretty-printed). */
+std::string sarifReport(const std::vector<Finding> &findings);
+
+} // namespace tmlint
+} // namespace treadmill
+
+#endif // TREADMILL_TOOLS_TMLINT_SARIF_H_

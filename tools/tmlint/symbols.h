@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The recoverable scope/declaration scanner.
+ *
+ * indexSymbols() walks one lexed file and fills a FileSummary with
+ * functions, class fields, call sites, identifier uses (with the set
+ * of mutexes lexically held at each), hot-path hygiene facts, and the
+ * per-function value-flow graph the taint pass propagates over. It is
+ * not a C++ parser: scopes are classified by inspecting the token
+ * slice between the previous statement boundary and each `{`, and
+ * anything unclassifiable becomes an anonymous block that the scanner
+ * simply descends into. Misclassification degrades precision, never
+ * correctness of the traversal.
+ *
+ * Pool-lifetime checking (use of a `util::Pool` / `util::RawPool`
+ * handle after `release()` / `recycle()`, and escape of pooled
+ * references into containers that outlive the function) is purely
+ * intra-procedural, so it runs here at index time and its findings are
+ * emitted into FileSummary::localFindings, already filtered against
+ * the file's inline suppressions.
+ */
+
+#ifndef TREADMILL_TOOLS_TMLINT_SYMBOLS_H_
+#define TREADMILL_TOOLS_TMLINT_SYMBOLS_H_
+
+#include "index.h"
+#include "lexer.h"
+
+namespace treadmill {
+namespace tmlint {
+
+/** Rule id for use-after-release / pooled-pointer escape findings. */
+extern const char kPoolLifetimeRule[];
+
+/**
+ * Index @p lexed into @p summary (functions, fields, flow graphs) and
+ * append pool-lifetime findings to summary.localFindings.
+ *
+ * @p summary must already have its path/module/suppression members
+ * populated; this function only adds symbol information.
+ */
+void indexSymbols(const LexedFile &lexed, FileSummary &summary);
+
+} // namespace tmlint
+} // namespace treadmill
+
+#endif // TREADMILL_TOOLS_TMLINT_SYMBOLS_H_

@@ -3,7 +3,9 @@
  * tmlint driver: lint a source tree against the simulator invariants.
  *
  * Usage:
- *   tmlint [--config FILE] [--list-rules] <file-or-directory>...
+ *   tmlint [--config FILE] [--cache FILE] [--sarif FILE]
+ *          [--baseline FILE] [--write-baseline FILE] [--list-rules]
+ *          <file-or-directory>...
  *
  * Directories are walked recursively for C++ sources and headers, in
  * sorted order so output and exit status are reproducible. Exit codes:
@@ -13,25 +15,39 @@
  * relative to the current directory; otherwise the built-in defaults
  * (which mirror that file) apply, so `./build/tools/tmlint src` works
  * from a repository checkout with no flags.
+ *
+ * --cache persists per-file index summaries keyed by content hash, so
+ * a warm run re-indexes only changed files (the whole-program passes
+ * still run in full). --sarif additionally writes the findings as a
+ * SARIF 2.1.0 document for code-scanning upload. --baseline suppresses
+ * known findings recorded with --write-baseline, budgeted per
+ * (rule, file), so a legacy debt list cannot silently grow.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "util/error.h"
+#include "util/json.h"
 
+#include "cache.h"
 #include "lint.h"
+#include "sarif.h"
 
 namespace {
 
 namespace fs = std::filesystem;
+using treadmill::json::Object;
+using treadmill::json::Value;
 using treadmill::tmlint::Config;
 using treadmill::tmlint::Finding;
+using treadmill::tmlint::IndexCache;
 using treadmill::tmlint::Linter;
 
 bool
@@ -68,11 +84,55 @@ readFile(const fs::path &path)
     return buf.str();
 }
 
+/** Baseline key: one budget per (rule, file) pair. */
+std::string
+baselineKey(const Finding &f)
+{
+    return f.rule + "|" + f.file;
+}
+
+void
+writeBaseline(const std::string &path,
+              const std::vector<Finding> &findings)
+{
+    std::map<std::string, int> counts;
+    for (const auto &f : findings)
+        ++counts[baselineKey(f)];
+    Object body;
+    for (const auto &entry : counts)
+        body[entry.first] = Value(entry.second);
+    Object doc;
+    doc["version"] = Value(1);
+    doc["findings"] = Value(std::move(body));
+
+    std::ofstream out(path);
+    if (!out)
+        throw treadmill::ConfigError("tmlint: cannot write baseline " +
+                                     path);
+    out << Value(std::move(doc)).dumpPretty() << "\n";
+}
+
+std::map<std::string, int>
+loadBaseline(const std::string &path)
+{
+    const Value doc = treadmill::json::parseFile(path);
+    if (doc.intOr("version", -1) != 1)
+        throw treadmill::ConfigError("tmlint: unsupported baseline "
+                                     "version in " +
+                                     path);
+    std::map<std::string, int> budgets;
+    for (const auto &entry : doc.at("findings").asObject())
+        budgets[entry.first] = static_cast<int>(entry.second.asInt());
+    return budgets;
+}
+
 int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: tmlint [--config FILE] [--list-rules] "
+                 "usage: tmlint [--config FILE] [--cache FILE] "
+                 "[--sarif FILE] [--baseline FILE] "
+                 "[--write-baseline FILE] [--list-rules] "
                  "<file-or-dir>...\n");
     return 2;
 }
@@ -83,14 +143,38 @@ int
 main(int argc, char **argv)
 {
     std::string configPath;
+    std::string cachePath;
+    std::string sarifPath;
+    std::string baselinePath;
+    std::string writeBaselinePath;
     std::vector<std::string> inputs;
 
+    const auto flagValue = [&](int &i) -> const char * {
+        return ++i < argc ? argv[i] : nullptr;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const char *v = nullptr;
         if (arg == "--config") {
-            if (++i >= argc)
+            if ((v = flagValue(i)) == nullptr)
                 return usage();
-            configPath = argv[i];
+            configPath = v;
+        } else if (arg == "--cache") {
+            if ((v = flagValue(i)) == nullptr)
+                return usage();
+            cachePath = v;
+        } else if (arg == "--sarif") {
+            if ((v = flagValue(i)) == nullptr)
+                return usage();
+            sarifPath = v;
+        } else if (arg == "--baseline") {
+            if ((v = flagValue(i)) == nullptr)
+                return usage();
+            baselinePath = v;
+        } else if (arg == "--write-baseline") {
+            if ((v = flagValue(i)) == nullptr)
+                return usage();
+            writeBaselinePath = v;
         } else if (arg == "--list-rules") {
             for (const auto &rule : treadmill::tmlint::knownRules())
                 std::printf("%s\n", rule.c_str());
@@ -111,10 +195,17 @@ main(int argc, char **argv)
 
     try {
         Config cfg;
+        // The cache key covers the effective configuration: a config
+        // edit invalidates every cached summary, since local findings
+        // are config-dependent.
+        std::string configKey = "builtin";
         if (!configPath.empty()) {
             cfg = treadmill::tmlint::loadConfig(configPath);
+            configKey = IndexCache::hashContent(readFile(configPath));
         } else if (fs::exists("tools/tmlint/tmlint.json")) {
             cfg = treadmill::tmlint::loadConfig("tools/tmlint/tmlint.json");
+            configKey = IndexCache::hashContent(
+                readFile("tools/tmlint/tmlint.json"));
         } else {
             cfg = treadmill::tmlint::defaultConfig();
         }
@@ -136,23 +227,82 @@ main(int argc, char **argv)
                     files.end());
 
         Linter linter(cfg);
+        IndexCache cache(configKey);
+        if (!cachePath.empty()) {
+            cache.load(cachePath);
+            linter.attachCache(&cache);
+        }
+
         for (const auto &file : files)
             linter.lintFile(file.generic_string(), readFile(file));
-        const std::vector<Finding> findings = linter.finish();
+        std::vector<Finding> findings = linter.finish();
+
+        if (!cachePath.empty() && !cache.save(cachePath)) {
+            std::fprintf(stderr, "tmlint: warning: cannot write cache %s\n",
+                         cachePath.c_str());
+        }
+
+        if (!writeBaselinePath.empty()) {
+            writeBaseline(writeBaselinePath, findings);
+            std::printf("tmlint: baseline of %zu finding%s written to "
+                        "%s\n",
+                        findings.size(), findings.size() == 1 ? "" : "s",
+                        writeBaselinePath.c_str());
+            return 0;
+        }
+
+        std::size_t baselined = 0;
+        if (!baselinePath.empty()) {
+            std::map<std::string, int> budgets =
+                loadBaseline(baselinePath);
+            std::vector<Finding> fresh;
+            for (auto &f : findings) {
+                auto it = budgets.find(baselineKey(f));
+                if (it != budgets.end() && it->second > 0) {
+                    --it->second;
+                    ++baselined;
+                } else {
+                    fresh.push_back(std::move(f));
+                }
+            }
+            findings = std::move(fresh);
+        }
+
+        if (!sarifPath.empty()) {
+            std::ofstream out(sarifPath);
+            if (!out)
+                throw treadmill::ConfigError(
+                    "tmlint: cannot write SARIF report " + sarifPath);
+            out << treadmill::tmlint::sarifReport(findings) << "\n";
+        }
 
         for (const auto &f : findings) {
             std::printf("%s\n",
                         treadmill::tmlint::formatFinding(f).c_str());
         }
+
+        std::string runStats;
+        if (!cachePath.empty()) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "; analyzed %zu, cached %zu",
+                          linter.analyzedCount(), linter.cachedCount());
+            runStats = buf;
+        }
+        if (baselined > 0) {
+            std::printf("tmlint: %zu baselined finding%s suppressed\n",
+                        baselined, baselined == 1 ? "" : "s");
+        }
         if (!findings.empty()) {
-            std::printf("tmlint: %zu finding%s in %zu file%s\n",
+            std::printf("tmlint: %zu finding%s in %zu file%s%s\n",
                         findings.size(),
                         findings.size() == 1 ? "" : "s",
                         linter.fileCount(),
-                        linter.fileCount() == 1 ? "" : "s");
+                        linter.fileCount() == 1 ? "" : "s",
+                        runStats.c_str());
             return 1;
         }
-        std::printf("tmlint: clean (%zu files)\n", linter.fileCount());
+        std::printf("tmlint: clean (%zu files%s)\n", linter.fileCount(),
+                    runStats.c_str());
         return 0;
     } catch (const treadmill::Error &e) {
         std::fprintf(stderr, "tmlint: %s\n", e.what());
